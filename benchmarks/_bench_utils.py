@@ -1,0 +1,26 @@
+"""Output helpers shared by the benchmark modules.
+
+Each benchmark regenerates one of the paper's figures and registers the
+rendered table here.  Tables are persisted under ``benchmarks/results/``
+immediately; the conftest's ``pytest_terminal_summary`` hook prints every
+table registered during the session *after* pytest's output capture has
+ended, so ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
+contains the full reproduction record.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Tables emitted during this session, in emission order.
+EMITTED: list[tuple[str, str]] = []
+
+
+def emit_table(name: str, text: str) -> None:
+    """Persist a rendered series and queue it for the session summary."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    EMITTED.append((name, text))

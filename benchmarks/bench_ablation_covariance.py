@@ -1,0 +1,66 @@
+"""Ablation A3 — true vs estimated covariance (Section 5.3's simplification).
+
+The paper analyzes PCA-DR assuming the *true* covariance ("there are only
+minor differences"); deployed attacks must estimate it via Theorem 5.1.
+This ablation quantifies that gap for PCA-DR and BE-DR as the sample size
+grows, verifying the paper's claim that the estimate converges.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.spectra import two_level_spectrum
+from repro.data.synthetic import generate_dataset
+from repro.experiments.ablations import run_ablation_covariance
+from repro.experiments.reporting import render_series
+from repro.linalg.covariance import covariance_from_disguised
+from repro.randomization.additive import AdditiveNoiseScheme
+
+from _bench_utils import emit_table
+
+M, P = 40, 5
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    series = run_ablation_covariance(
+        sample_sizes=(100, 200, 500, 1000, 2000, 5000),
+        n_attributes=M,
+        n_principal=P,
+        seed=42,
+    )
+    emit_table(
+        "ablation_covariance",
+        render_series(
+            series,
+            title="Ablation A3: Theorem-5.1 estimate vs oracle covariance",
+        ),
+    )
+    return series
+
+
+def test_covariance_ablation(benchmark, ablation):
+    for family in ("PCA", "BE"):
+        estimated = ablation.curve(f"{family}-estimated")
+        oracle = ablation.curve(f"{family}-oracle")
+        # Oracle knowledge can only help (up to small sampling noise)...
+        assert np.all(oracle <= estimated + 0.15), family
+        # ...and the gap closes as n grows (Theorem 5.1's consistency).
+        gap_small_n = estimated[0] - oracle[0]
+        gap_large_n = estimated[-1] - oracle[-1]
+        assert gap_large_n <= max(gap_small_n, 0.05), family
+        assert abs(gap_large_n) < 0.1, family
+
+    # Benchmark the Theorem-5.1 estimation itself at the largest n.
+    spectrum = two_level_spectrum(
+        M, P, total_variance=100.0 * M, non_principal_value=4.0
+    )
+    dataset = generate_dataset(spectrum=spectrum, n_records=5000, rng=0)
+    disguised = AdditiveNoiseScheme(std=5.0).disguise(dataset.values, rng=1)
+
+    estimate = benchmark.pedantic(
+        lambda: covariance_from_disguised(disguised.disguised, 25.0),
+        rounds=5,
+        iterations=1,
+    )
+    assert estimate.shape == (M, M)

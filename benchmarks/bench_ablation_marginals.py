@@ -1,0 +1,69 @@
+"""Ablation A6 — non-normal marginals (Section 6's normality assumption).
+
+BE-DR is derived for multivariate-normal data; Section 6 says the
+assumption "can be relaxed".  This ablation keeps the correlation
+structure fixed (Gaussian copula over a two-level latent spectrum) and
+swaps the marginal shapes: normal, lognormal (skewed), uniform
+(light-tailed), bimodal (clustered).  The reproduction question: how much
+of the correlation attack's edge over UDR survives model
+misspecification?
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.copula import GaussianCopulaGenerator
+from repro.data.spectra import two_level_spectrum
+from repro.experiments.ablations import run_ablation_marginals
+from repro.experiments.reporting import render_series
+from repro.randomization.additive import AdditiveNoiseScheme
+from repro.reconstruction.bedr import BayesEstimateReconstructor
+
+from _bench_utils import emit_table
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    series = run_ablation_marginals(
+        marginals=("normal", "lognormal", "uniform", "bimodal"),
+        n_attributes=30,
+        n_principal=4,
+        n_records=2000,
+        seed=11,
+    )
+    emit_table(
+        "ablation_marginals",
+        render_series(
+            series,
+            title=(
+                "Ablation A6: attack accuracy vs marginal shape "
+                "(Gaussian copula, fixed correlation)"
+            ),
+        ),
+    )
+    return series
+
+
+def test_marginals_ablation(benchmark, ablation):
+    be = ablation.curve("BE-DR")
+    udr = ablation.curve("UDR")
+    # BE-DR keeps an edge over UDR for every marginal shape...
+    assert np.all(be < udr), ablation.metadata["marginals"]
+    # ...but pays for misspecification: every non-normal shape is harder
+    # than the normal baseline.
+    assert min(be[1:]) > be[0]
+
+    spectrum = two_level_spectrum(
+        30, 4, total_variance=30.0, non_principal_value=0.04
+    )
+    generator = GaussianCopulaGenerator.from_spectrum(
+        spectrum, marginal="lognormal", target_std=10.0, rng=11
+    )
+    table = generator.sample(2000, rng=12)
+    disguised = AdditiveNoiseScheme(std=5.0).disguise(table, rng=13)
+    attack = BayesEstimateReconstructor()
+
+    result = benchmark.pedantic(
+        lambda: attack.reconstruct(disguised), rounds=5, iterations=1
+    )
+    assert result.estimate.shape == (2000, 30)

@@ -1,0 +1,61 @@
+"""Ablation A4 — attack accuracy vs sample size.
+
+Fixes the Figure-1 workload at m = 50 and sweeps the number of published
+records.  More records sharpen the adversary's covariance estimate, so
+reconstruction improves and then saturates at the population-covariance
+limit — randomized data gets *less* private as the table grows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.spectra import two_level_spectrum
+from repro.data.synthetic import generate_dataset
+from repro.experiments.ablations import run_ablation_samplesize
+from repro.experiments.reporting import render_series
+from repro.randomization.additive import AdditiveNoiseScheme
+from repro.reconstruction.bedr import BayesEstimateReconstructor
+
+from _bench_utils import emit_table
+
+M, P = 50, 5
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    series = run_ablation_samplesize(
+        sample_sizes=(100, 250, 500, 1000, 2500, 5000, 10000),
+        n_attributes=M,
+        n_principal=P,
+        seed=42,
+    )
+    emit_table(
+        "ablation_samplesize",
+        render_series(
+            series, title="Ablation A4: reconstruction accuracy vs n"
+        ),
+    )
+    return series
+
+
+def test_samplesize_ablation(benchmark, ablation):
+    be = ablation.curve("BE-DR")
+    # Improves with n...
+    assert be[-1] < be[0] - 0.2
+    # ...and saturates: the last doubling buys almost nothing.
+    assert abs(be[-1] - be[-2]) < 0.1
+    # The correlation attack dominates UDR at every sample size here.
+    assert np.all(be <= ablation.curve("UDR") + 0.05)
+
+    spectrum = two_level_spectrum(
+        M, P, total_variance=100.0 * M, non_principal_value=4.0
+    )
+    dataset = generate_dataset(spectrum=spectrum, n_records=10000, rng=0)
+    scheme = AdditiveNoiseScheme(std=5.0)
+    disguised = scheme.disguise(dataset.values, rng=1)
+    attack = BayesEstimateReconstructor()
+
+    result = benchmark.pedantic(
+        lambda: attack.reconstruct(disguised), rounds=3, iterations=1
+    )
+    assert result.estimate.shape == (10000, M)

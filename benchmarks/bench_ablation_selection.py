@@ -1,0 +1,58 @@
+"""Ablation A2 — PCA-DR component-selection strategies (§5.2.2 fn. 1).
+
+Compares the three selection rules the paper lists (fixed count, energy
+fraction, largest gap) on the Figure-1 style two-level workload and on a
+decaying spectrum with no clean gap.  The paper uses largest-gap; this
+ablation shows when that choice matters.
+"""
+
+import pytest
+
+from repro.data.spectra import two_level_spectrum
+from repro.data.synthetic import generate_dataset
+from repro.experiments.ablations import run_ablation_selection
+from repro.experiments.reporting import render_series
+from repro.randomization.additive import AdditiveNoiseScheme
+from repro.reconstruction.pca_dr import PCAReconstructor
+from repro.reconstruction.selection import LargestGapSelector
+
+from _bench_utils import emit_table
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    series = run_ablation_selection(
+        n_attributes=60, n_principal=5, n_records=2000, seed=42
+    )
+    emit_table(
+        "ablation_selection",
+        render_series(
+            series, title="Ablation A2: PCA-DR component-selection rules"
+        ),
+    )
+    return series
+
+
+def test_selection_ablation(benchmark, ablation):
+    # Two-level spectrum: the largest-gap rule matches the oracle (the
+    # paper's justification for using it).
+    gap_two_level = ablation.curve("largest-gap")[0]
+    oracle_two_level = ablation.curve("oracle-fixed(5)")[0]
+    assert gap_two_level == pytest.approx(oracle_two_level, abs=0.05)
+
+    # Decaying spectrum (no clean gap): strategies genuinely diverge.
+    decaying = [ablation.curve(name)[1] for name in ablation.methods]
+    assert max(decaying) - min(decaying) > 0.05
+
+    spectrum = two_level_spectrum(
+        60, 5, total_variance=6000.0, non_principal_value=4.0
+    )
+    dataset = generate_dataset(spectrum=spectrum, n_records=2000, rng=0)
+    scheme = AdditiveNoiseScheme(std=5.0)
+    disguised = scheme.disguise(dataset.values, rng=1)
+    attack = PCAReconstructor(LargestGapSelector())
+
+    result = benchmark.pedantic(
+        lambda: attack.reconstruct(disguised), rounds=5, iterations=1
+    )
+    assert result.details["n_components"] == 5

@@ -1,0 +1,46 @@
+"""Micro-benchmarks of each attack's runtime at paper scale.
+
+Not a paper figure — an engineering companion table answering "what does
+each reconstruction cost?" at the default experiment size (n = 2000,
+m = 100).  Useful when scaling the attacks to larger tables.
+"""
+
+import pytest
+
+from repro.data.spectra import two_level_spectrum
+from repro.data.synthetic import generate_dataset
+from repro.randomization.additive import AdditiveNoiseScheme
+from repro.reconstruction.bedr import BayesEstimateReconstructor
+from repro.reconstruction.ndr import NoiseDistributionReconstructor
+from repro.reconstruction.pca_dr import PCAReconstructor
+from repro.reconstruction.spectral_filtering import (
+    SpectralFilteringReconstructor,
+)
+from repro.reconstruction.udr import UnivariateReconstructor
+
+
+@pytest.fixture(scope="module")
+def disguised():
+    spectrum = two_level_spectrum(
+        100, 5, total_variance=10000.0, non_principal_value=4.0
+    )
+    dataset = generate_dataset(spectrum=spectrum, n_records=2000, rng=0)
+    return AdditiveNoiseScheme(std=5.0).disguise(dataset.values, rng=1)
+
+
+@pytest.mark.parametrize(
+    "attack",
+    [
+        NoiseDistributionReconstructor(),
+        UnivariateReconstructor(prior="gaussian"),
+        SpectralFilteringReconstructor(),
+        PCAReconstructor(),
+        BayesEstimateReconstructor(),
+    ],
+    ids=["NDR", "UDR", "SF", "PCA-DR", "BE-DR"],
+)
+def test_attack_runtime(benchmark, disguised, attack):
+    result = benchmark.pedantic(
+        lambda: attack.reconstruct(disguised), rounds=5, iterations=1
+    )
+    assert result.estimate.shape == (2000, 100)

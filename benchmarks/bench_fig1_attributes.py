@@ -1,0 +1,76 @@
+"""Figure 1 — RMSE vs number of attributes (Experiment 1, Section 7.2).
+
+Regenerates the full sweep at paper scale (m = 5..100, p = 5 fixed,
+trace-preserving spectra per Eq. 12), prints the series, asserts the
+published shape, and benchmarks one full sweep point (data generation +
+disguise + the four attacks) at m = 100.
+"""
+
+import pytest
+
+from repro.core.pipeline import AttackPipeline
+from repro.data.spectra import two_level_spectrum
+from repro.data.synthetic import generate_dataset
+from repro.experiments.config import SweepConfig
+from repro.experiments.reporting import render_series
+from repro.experiments.runners import run_experiment1_attributes
+from repro.randomization.additive import AdditiveNoiseScheme
+from repro.reconstruction.bedr import BayesEstimateReconstructor
+from repro.reconstruction.pca_dr import PCAReconstructor
+from repro.reconstruction.spectral_filtering import (
+    SpectralFilteringReconstructor,
+)
+from repro.reconstruction.udr import UnivariateReconstructor
+
+from _bench_utils import emit_table
+
+CONFIG = SweepConfig(n_records=2000, n_trials=2, seed=2005)
+
+
+@pytest.fixture(scope="module")
+def figure1():
+    series = run_experiment1_attributes(
+        CONFIG,
+        attribute_counts=[5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100],
+    )
+    emit_table(
+        "figure1",
+        render_series(
+            series,
+            title="Figure 1 (reproduced): RMSE vs number of attributes",
+        ),
+    )
+    return series
+
+
+def _one_sweep_point():
+    spectrum = two_level_spectrum(
+        100, 5, total_variance=10000.0, non_principal_value=4.0
+    )
+    dataset = generate_dataset(spectrum=spectrum, n_records=2000, rng=0)
+    pipeline = AttackPipeline(
+        AdditiveNoiseScheme(std=5.0),
+        {
+            "UDR": UnivariateReconstructor(),
+            "SF": SpectralFilteringReconstructor(),
+            "PCA-DR": PCAReconstructor(),
+            "BE-DR": BayesEstimateReconstructor(),
+        },
+    )
+    return pipeline.run(dataset, rng=1)
+
+
+def test_figure1_shape_and_timing(benchmark, figure1):
+    # The paper's claims, at full scale.
+    udr = figure1.curve("UDR")
+    assert udr.max() - udr.min() < 0.35, "UDR must stay flat (Eq. 12)"
+    for method in ("SF", "PCA-DR", "BE-DR"):
+        curve = figure1.curve(method)
+        assert curve[-1] < curve[0] - 1.0, (
+            f"{method} must improve as correlations grow"
+        )
+    assert figure1.curve("BE-DR").mean() <= figure1.curve("PCA-DR").mean() + 0.02
+    assert figure1.curve("BE-DR").mean() < figure1.curve("SF").mean()
+
+    report = benchmark.pedantic(_one_sweep_point, rounds=3, iterations=1)
+    assert report.rmse("BE-DR") < report.rmse("UDR")

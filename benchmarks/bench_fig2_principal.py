@@ -1,0 +1,78 @@
+"""Figure 2 — RMSE vs number of principal components (Experiment 2, §7.3).
+
+m = 100 fixed, p swept from 2 to 100 at constant trace; correlations fall
+as p grows, so every correlation-based attack degrades while UDR stays
+flat.  Benchmarks the covariance-estimate + eigendecomposition step that
+dominates the sweep.
+"""
+
+import pytest
+
+from repro.experiments.config import SweepConfig
+from repro.experiments.reporting import render_series
+from repro.experiments.runners import run_experiment2_principal_components
+from repro.linalg.covariance import covariance_from_disguised
+from repro.linalg.eigen import sorted_eigh
+
+from _bench_utils import emit_table
+
+CONFIG = SweepConfig(n_records=2000, n_trials=2, seed=2005)
+
+
+@pytest.fixture(scope="module")
+def figure2():
+    series = run_experiment2_principal_components(
+        CONFIG,
+        principal_counts=[2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100],
+    )
+    emit_table(
+        "figure2",
+        render_series(
+            series,
+            title=(
+                "Figure 2 (reproduced): RMSE vs number of principal "
+                "components"
+            ),
+        ),
+    )
+    return series
+
+
+@pytest.fixture(scope="module")
+def disguised_sample():
+    from repro.data.spectra import two_level_spectrum
+    from repro.data.synthetic import generate_dataset
+    from repro.randomization.additive import AdditiveNoiseScheme
+
+    spectrum = two_level_spectrum(
+        100, 20, total_variance=10000.0, non_principal_value=4.0
+    )
+    dataset = generate_dataset(spectrum=spectrum, n_records=2000, rng=0)
+    return AdditiveNoiseScheme(std=5.0).disguise(dataset.values, rng=1)
+
+
+def test_figure2_shape_and_timing(benchmark, figure2, disguised_sample):
+    udr = figure2.curve("UDR")
+    assert udr.max() - udr.min() < 0.4, "UDR must stay flat"
+    for method in ("SF", "PCA-DR", "BE-DR"):
+        curve = figure2.curve(method)
+        assert curve[-1] > curve[0] + 1.0, (
+            f"{method} must degrade as p grows"
+        )
+    # At p = m, PCA-DR keeps everything and falls back to NDR (sigma = 5).
+    assert abs(figure2.curve("PCA-DR")[-1] - 5.0) < 0.25
+    # BE-DR stays best throughout (Section 7.3).
+    be = figure2.curve("BE-DR")
+    assert (be <= figure2.curve("PCA-DR") + 0.25).all()
+    assert (be <= figure2.curve("SF") + 0.25).all()
+
+    def theorem51_plus_eigh():
+        covariance = covariance_from_disguised(
+            disguised_sample.disguised, 25.0
+        )
+        return sorted_eigh(covariance)
+
+    decomposition = benchmark.pedantic(
+        theorem51_plus_eigh, rounds=5, iterations=1
+    )
+    assert decomposition.dim == 100

@@ -1,0 +1,55 @@
+"""Theorem 5.2 verification (ablation A1 in DESIGN.md).
+
+Empirical mean square of the projected noise ``R Q_p Q_p^T`` against the
+analytic ``sigma^2 * p / m``, across p, plus a micro-benchmark of the
+projection itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import render_series
+from repro.experiments.runners import run_theorem52_verification
+from repro.linalg.gram_schmidt import random_orthogonal
+
+from _bench_utils import emit_table
+
+
+@pytest.fixture(scope="module")
+def theorem52():
+    series = run_theorem52_verification(
+        n_attributes=100,
+        component_counts=(5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100),
+        noise_std=5.0,
+        n_records=5000,
+        seed=52,
+    )
+    emit_table(
+        "theorem52",
+        render_series(
+            series,
+            title=(
+                "Theorem 5.2 check: mean square of R Q_p Q_p^T vs "
+                "sigma^2 * p / m"
+            ),
+        ),
+    )
+    return series
+
+
+def test_theorem52_accuracy_and_timing(benchmark, theorem52):
+    np.testing.assert_allclose(
+        theorem52.curve("empirical"),
+        theorem52.curve("analytic"),
+        rtol=0.05,
+    )
+
+    basis = random_orthogonal(100, rng=0)
+    q = basis[:, :20]
+    noise = np.random.default_rng(1).normal(0.0, 5.0, size=(5000, 100))
+
+    def project():
+        return noise @ q @ q.T
+
+    projected = benchmark.pedantic(project, rounds=5, iterations=1)
+    assert projected.shape == (5000, 100)

@@ -1,0 +1,18 @@
+"""Pytest hooks for the benchmark suite.
+
+Prints every figure/ablation table registered via
+:func:`_bench_utils.emit_table` after the test session, outside pytest's
+output capture, so the tables land in any tee'd log.
+"""
+
+import _bench_utils
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _bench_utils.EMITTED:
+        return
+    terminalreporter.section("regenerated paper figures and ablations")
+    for _, text in _bench_utils.EMITTED:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

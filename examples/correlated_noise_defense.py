@@ -1,0 +1,121 @@
+"""Publisher-side walkthrough of the Section 8 defense.
+
+The paper's fix for correlation attacks: make the noise correlate like
+the data.  This example takes the publisher's point of view:
+
+1. Sweep the noise eigenvalue profile from "matches the data" through
+   "independent" to "anti-matched", at constant noise power.
+2. For each design, measure (a) privacy — the best attacker's RMSE — and
+   (b) utility — how well a data miner can still recover the original
+   covariance via Theorem 8.2 and train a classifier from recovered
+   moments.
+
+The punchline is the paper's: matched noise maximizes attacker error at
+zero cost to distribution-level utility.
+
+Run:  python examples/correlated_noise_defense.py
+"""
+
+import numpy as np
+
+import repro
+from repro.linalg.covariance import covariance_from_disguised
+from repro.mining.naive_bayes import GaussianNaiveBayes
+
+
+def covariance_recovery_error(disguised, noise_cov, truth) -> float:
+    """Relative Frobenius error of the Theorem-8.2 covariance recovery."""
+    recovered = covariance_from_disguised(disguised, noise_cov)
+    return float(
+        np.linalg.norm(recovered - truth, "fro") / np.linalg.norm(truth, "fro")
+    )
+
+
+def classifier_utility(disguised, labels, noise_cov, test_x, test_y) -> float:
+    """Accuracy of a naive Bayes trained on moment-corrected disguised data."""
+    model = GaussianNaiveBayes().fit_disguised(disguised, labels, noise_cov)
+    return model.accuracy(test_x, test_y)
+
+
+def main() -> None:
+    m, n = 24, 4000
+    sigma = 5.0
+    spectrum = repro.two_level_spectrum(
+        m, 6, total_variance=100.0 * m, non_principal_value=4.0
+    )
+    dataset = repro.generate_dataset(
+        spectrum=spectrum, n_records=n, rng=0
+    )
+    # A label correlated with the first principal direction, so the
+    # utility check reflects structure the noise could destroy.
+    direction = dataset.covariance_model.eigenvectors[:, 0]
+    scores = dataset.values @ direction
+    labels = (scores > np.median(scores)).astype(int)
+    test = repro.generate_dataset(
+        covariance_model=dataset.covariance_model, n_records=2000, rng=99
+    )
+    test_labels = (test.values @ direction > np.median(scores)).astype(int)
+
+    designer = repro.NoiseDesigner(
+        dataset.covariance_model, noise_power=m * sigma**2
+    )
+    attacks = {
+        "SF": repro.SpectralFilteringReconstructor(),
+        "PCA-DR": repro.PCAReconstructor(),
+        "BE-DR": repro.BayesEstimateReconstructor(),
+    }
+
+    print(
+        "Noise design sweep (constant power = m * sigma^2, "
+        f"sigma = {sigma:g}):\n"
+    )
+    header = (
+        f"{'profile':>8} {'dissim.':>8} {'best attack RMSE':>17} "
+        f"{'cov recovery err':>17} {'classifier acc':>15}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for profile in (0.0, 0.5, 1.0, 1.5, 2.0):
+        designed = designer.design(profile)
+        disguised = designed.scheme.disguise(dataset.values, rng=7)
+        outcomes = repro.evaluate_attacks(disguised, attacks)
+        best_rmse = min(outcome.rmse for outcome in outcomes.values())
+        recovery = covariance_recovery_error(
+            disguised.disguised,
+            designed.scheme.covariance,
+            dataset.population_covariance,
+        )
+        accuracy = classifier_utility(
+            disguised.disguised,
+            labels,
+            designed.scheme.covariance,
+            test.values,
+            test_labels,
+        )
+        tag = "  <- independent (baseline)" if profile == 1.0 else ""
+        print(
+            f"{profile:>8.2f} {designed.dissimilarity:>8.4f} "
+            f"{best_rmse:>17.3f} {recovery:>17.4f} {accuracy:>15.3f}{tag}"
+        )
+
+    print(
+        "\nReading the table: moving from the independent baseline "
+        "(profile 1.0) to matched"
+    )
+    print(
+        "noise (profile 0.0) raises the best attacker's error — more "
+        "privacy — while the"
+    )
+    print(
+        "Theorem-8.2 covariance recovery and the classifier trained on "
+        "recovered moments"
+    )
+    print(
+        "stay essentially unchanged: the defense costs distribution-level "
+        "utility nothing."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Categorical randomization: MASK mining plus breach analysis (§2).
+
+The paper's related work covers the second randomization branch —
+randomized response for categorical data (Warner; MASK for association
+mining; Evfimievski et al.'s privacy-breach framework).  This example
+walks that branch end-to-end on a synthetic retail basket:
+
+1. Disguise baskets with MASK (keep each bit w.p. p, flip otherwise).
+2. Mine frequent itemsets from the disguised data by inverting the flip
+   channel, and compare with the plain-data truth.
+3. Analyze the per-record privacy of the same scheme with the
+   Evfimievski machinery: amplification factor, worst-case posterior,
+   and whether a rho1-to-rho2 breach is possible.
+
+The punchline mirrors the numeric story: aggregate utility (supports)
+survives mild randomization that still leaves individuals exposed —
+utility and privacy are controlled by the same dial p, in tension.
+
+Run:  python examples/mask_association.py
+"""
+
+import numpy as np
+
+import repro
+from repro.metrics.breach import (
+    amplification_factor,
+    amplification_prevents_breach,
+    worst_case_posterior,
+)
+from repro.mining.association import AprioriMiner, MaskScheme
+
+
+def make_baskets(n=30000, seed=0):
+    """8-item baskets with a planted 'bread -> butter' association."""
+    rng = np.random.default_rng(seed)
+    baskets = np.zeros((n, 8), dtype=np.int8)
+    baskets[:, 0] = rng.random(n) < 0.5          # bread
+    copy = rng.random(n) < 0.9
+    baskets[:, 1] = np.where(copy, baskets[:, 0], rng.random(n) < 0.5)
+    for item, support in zip(range(2, 8),
+                             (0.45, 0.4, 0.35, 0.25, 0.15, 0.05)):
+        baskets[:, item] = rng.random(n) < support
+    return baskets
+
+
+def warner_channel(p):
+    return np.array([[p, 1.0 - p], [1.0 - p, p]])
+
+
+def main() -> None:
+    baskets = make_baskets()
+    miner = AprioriMiner(min_support=0.3, max_size=3)
+    truth = {fs.items: fs.support for fs in miner.mine_plain(baskets)}
+
+    print("MASK randomized association mining (min support 0.3):\n")
+    header = (
+        f"{'p':>5} {'itemsets found':>15} {'exact match?':>13} "
+        f"{'max support err':>16} {'gamma':>7} {'0.1->0.6 breach?':>17}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for p in (0.95, 0.85, 0.7, 0.6):
+        scheme = MaskScheme(p)
+        disguised = scheme.disguise(baskets, rng=int(p * 100))
+        mined = {
+            fs.items: fs.support
+            for fs in miner.mine_disguised(disguised, scheme)
+        }
+        common = set(truth) & set(mined)
+        max_err = max(
+            (abs(mined[s] - truth[s]) for s in common), default=1.0
+        )
+        gamma = amplification_factor(warner_channel(p))
+        safe = amplification_prevents_breach(
+            warner_channel(p), rho1=0.1, rho2=0.6
+        )
+        print(
+            f"{p:>5.2f} {len(mined):>15} "
+            f"{str(set(mined) == set(truth)):>13} {max_err:>16.4f} "
+            f"{gamma:>7.2f} {str(not safe):>17}"
+        )
+
+    # Per-record view at p = 0.85 for a rare, sensitive item.
+    p = 0.85
+    rare_prior = 0.05  # e.g. a sensitive purchase held by 5% of clients
+    posterior = worst_case_posterior(
+        [1 - rare_prior, rare_prior], warner_channel(p), [1]
+    )
+    print(
+        f"\nAt p = {p}: a rare item with prior {rare_prior:.0%} is "
+        f"believed at {posterior:.0%} after one observed bit —"
+    )
+    print(
+        "aggregate supports are recovered almost exactly while individual "
+        "bits leak; the"
+    )
+    print(
+        "breach framework quantifies the per-record side the paper's "
+        "RMSE measure plays"
+    )
+    print("for numeric data.")
+
+
+if __name__ == "__main__":
+    main()

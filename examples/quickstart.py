@@ -1,0 +1,62 @@
+"""Quickstart: how correlated attributes break additive randomization.
+
+Reproduces the paper's core observation in ~40 lines of API use:
+
+1. Generate a correlated table (the paper's Section 7.1 methodology).
+2. Disguise it with i.i.d. Gaussian noise, sigma = 5 (nominal privacy:
+   an adversary guessing the noise is zero is off by 5 on average).
+3. Run the full attack ladder — NDR, UDR, SF, PCA-DR, BE-DR — and print
+   how much of that nominal privacy actually survives.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+
+
+def main() -> None:
+    # 1. A 30-attribute table whose variance concentrates in 4 principal
+    #    directions: strongly correlated, like real demographic data.
+    dataset = repro.generate_dataset(
+        spectrum=repro.two_level_spectrum(
+            30, 4, total_variance=3000.0, non_principal_value=4.0
+        ),
+        n_records=2000,
+        rng=0,
+    )
+
+    # 2. The Agrawal-Srikant randomization: Y = X + R, R ~ N(0, 5^2) iid.
+    scheme = repro.AdditiveNoiseScheme(std=5.0)
+    disguised = scheme.disguise(dataset.values, rng=1)
+
+    # 3. The attack ladder, in the paper's order.
+    attacks = repro.ThreatModel().build_attacks()
+    outcomes = repro.evaluate_attacks(disguised, attacks)
+
+    print("Attack ladder on a correlated table (noise sigma = 5):\n")
+    print(f"{'attack':<10} {'RMSE':>7}   interpretation")
+    print("-" * 66)
+    notes = {
+        "NDR": "nominal privacy: guess the disguised value",
+        "UDR": "per-attribute posterior mean (no correlations)",
+        "SF": "Kargupta et al.'s spectral filtering",
+        "PCA-DR": "the paper's PCA attack (Section 5)",
+        "BE-DR": "the paper's Bayes-estimate attack (Section 6)",
+    }
+    for name in ("NDR", "UDR", "SF", "PCA-DR", "BE-DR"):
+        print(f"{name:<10} {outcomes[name].rmse:>7.3f}   {notes[name]}")
+
+    ndr = outcomes["NDR"].rmse
+    be = outcomes["BE-DR"].rmse
+    print(
+        f"\nBE-DR recovers the private values {ndr / be:.1f}x more "
+        "accurately than the nominal noise level suggests —"
+    )
+    print(
+        "correlation, not the noise variance, decides how much privacy "
+        "randomization provides."
+    )
+
+
+if __name__ == "__main__":
+    main()

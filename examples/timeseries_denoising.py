@@ -1,0 +1,85 @@
+"""Sample dependency: de-noising randomized time series (Section 3).
+
+Attribute correlation is only one of the paper's disclosure factors;
+serial dependency is another: "for certain types of data, such as the
+time series data, there exists serial dependency among the samples ...
+various techniques are available from the signal processing literature
+to de-noise the contaminated signals."
+
+This example randomizes a strongly autocorrelated sensor-like series and
+shows the Wiener-smoother attack recovering it, with the attack's edge
+growing as the serial correlation strengthens.
+
+Run:  python examples/timeseries_denoising.py
+"""
+
+import numpy as np
+
+import repro
+
+
+def main() -> None:
+    sigma = 2.0
+    scheme = repro.AdditiveNoiseScheme(std=sigma)
+    threat = repro.ThreatModel(
+        exploits_correlations=False, exploits_serial_dependency=True
+    )
+    attacks = threat.build_attacks()
+
+    print(
+        "Smoother attacks on randomized AR(1) series "
+        f"(noise sigma = {sigma:g}):\n"
+    )
+    print(
+        f"{'phi':>6} {'NDR RMSE':>10} {'UDR RMSE':>10} "
+        f"{'Wiener RMSE':>12} {'Kalman RMSE':>12} {'noise removed':>14}"
+    )
+    print("-" * 70)
+
+    for phi in (0.0, 0.5, 0.8, 0.95, 0.99):
+        generator = repro.VectorAutoregressiveGenerator(
+            phi if phi > 0 else 1e-9, innovation_std=1.0, n_channels=1
+        )
+        series = generator.sample(8000, rng=3)
+        disguised = scheme.disguise(series, rng=4)
+        outcomes = repro.evaluate_attacks(disguised, attacks)
+        removed = 1.0 - (outcomes["Kalman"].rmse / outcomes["NDR"].rmse) ** 2
+        print(
+            f"{phi:>6.2f} {outcomes['NDR'].rmse:>10.3f} "
+            f"{outcomes['UDR'].rmse:>10.3f} "
+            f"{outcomes['Wiener'].rmse:>12.3f} "
+            f"{outcomes['Kalman'].rmse:>12.3f} {removed:>13.0%}"
+        )
+
+    # Cross-channel coupling: only the joint state-space model sees it.
+    coupled = repro.VectorAutoregressiveGenerator(
+        np.array([[0.85, 0.3], [0.0, 0.9]]), innovation_std=1.0
+    )
+    series = coupled.sample(8000, rng=5)
+    disguised = scheme.disguise(series, rng=6)
+    outcomes = repro.evaluate_attacks(disguised, attacks)
+    print(
+        "\nCoupled VAR(1) (channel 1 drives channel 0): "
+        f"Wiener {outcomes['Wiener'].rmse:.3f} vs "
+        f"Kalman {outcomes['Kalman'].rmse:.3f}"
+    )
+    print(
+        "\nBoth smoothers are BE-DR rotated into the time axis: the same "
+        "posterior-mean"
+    )
+    print(
+        "formula, conditioning on neighbouring samples instead of "
+        "neighbouring attributes."
+    )
+    print(
+        "The Kalman/RTS variant models all channels jointly, so "
+        "cross-series correlation"
+    )
+    print(
+        "compounds with serial correlation — the more structure, the less "
+        "privacy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,199 @@
+"""repro — reproduction of "Deriving Private Information from Randomized Data".
+
+Huang, Du, and Chen (SIGMOD 2005) showed that additive randomization
+``Y = X + R`` leaks far more than its noise variance suggests whenever the
+data's attributes are correlated, via two reconstruction attacks (PCA-DR
+and BE-DR), and proposed correlated noise as the countermeasure.  This
+package implements the complete system: data generation, randomization
+schemes, all reconstruction attacks, privacy metrics, the defense, and
+the experiment harness that regenerates every figure in the paper.
+
+Quickstart
+----------
+>>> import repro
+>>> dataset = repro.generate_dataset(
+...     spectrum=repro.two_level_spectrum(20, 3, total_variance=2000.0),
+...     n_records=1000, rng=0)
+>>> scheme = repro.AdditiveNoiseScheme(std=5.0)
+>>> disguised = scheme.disguise(dataset.values, rng=1)
+>>> attack = repro.BayesEstimateReconstructor()
+>>> result = attack.reconstruct(disguised)
+>>> rmse = repro.root_mean_square_error(disguised.original, result)
+>>> rmse < 5.0  # beats the nominal noise level
+True
+"""
+
+from repro.core.defense import DesignedNoise, NoiseDesigner, design_noise_spectrum
+from repro.core.pipeline import (
+    AttackOutcome,
+    AttackPipeline,
+    PipelineReport,
+    evaluate_attacks,
+)
+from repro.core.threat_model import ThreatModel
+from repro.data.census import CensusLikeGenerator, CensusTable
+from repro.data.copula import GaussianCopulaGenerator
+from repro.data.covariance_builder import CovarianceModel
+from repro.data.spectra import (
+    decaying_spectrum,
+    rescale_to_trace,
+    two_level_spectrum,
+)
+from repro.data.synthetic import SyntheticDataset, generate_dataset
+from repro.data.timeseries import VectorAutoregressiveGenerator
+from repro.exceptions import (
+    ConfigurationError,
+    ConvergenceError,
+    NotPositiveDefiniteError,
+    ReproError,
+    ShapeError,
+    SpectrumError,
+    ValidationError,
+)
+from repro.metrics.breach import (
+    amplification_factor,
+    amplification_prevents_breach,
+    breach_occurs,
+    posterior_distribution,
+    worst_case_posterior,
+)
+from repro.metrics.dissimilarity import correlation_dissimilarity
+from repro.metrics.error import (
+    mean_square_error,
+    per_attribute_rmse,
+    root_mean_square_error,
+)
+from repro.metrics.privacy import (
+    interval_privacy,
+    mutual_information_privacy,
+    privacy_gain,
+)
+from repro.randomization.additive import AdditiveNoiseScheme
+from repro.randomization.base import (
+    DisguisedDataset,
+    NoiseModel,
+    RandomizationScheme,
+)
+from repro.randomization.correlated import CorrelatedNoiseScheme
+from repro.randomization.distribution_recon import reconstruct_distribution
+from repro.randomization.randomized_response import WarnerRandomizedResponse
+from repro.reconstruction.base import ReconstructionResult, Reconstructor
+from repro.reconstruction.bedr import BayesEstimateReconstructor
+from repro.reconstruction.kalman import KalmanSmootherReconstructor
+from repro.reconstruction.map_gd import MAPGradientReconstructor
+from repro.reconstruction.ndr import NoiseDistributionReconstructor
+from repro.reconstruction.partial_disclosure import (
+    ConditionalDisclosureReconstructor,
+)
+from repro.reconstruction.pca_dr import PCAReconstructor
+from repro.reconstruction.selection import (
+    ComponentSelector,
+    EnergyFractionSelector,
+    FixedCountSelector,
+    LargestGapSelector,
+)
+from repro.reconstruction.spectral_filtering import (
+    SpectralFilteringReconstructor,
+    marchenko_pastur_bounds,
+)
+from repro.reconstruction.udr import UnivariateReconstructor
+from repro.reconstruction.wiener import WienerSmootherReconstructor
+from repro.stats.density import (
+    Density,
+    GaussianDensity,
+    GaussianMixtureDensity,
+    HistogramDensity,
+    LaplaceDensity,
+    UniformDensity,
+)
+from repro.mining.association import AprioriMiner, FrequentItemset, MaskScheme
+from repro.mining.naive_bayes import GaussianNaiveBayes, utility_report
+from repro.stats.kde import GaussianKDE
+from repro.stats.mvn import MultivariateNormal
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "DesignedNoise",
+    "NoiseDesigner",
+    "design_noise_spectrum",
+    "AttackOutcome",
+    "AttackPipeline",
+    "PipelineReport",
+    "evaluate_attacks",
+    "ThreatModel",
+    # data
+    "CensusLikeGenerator",
+    "GaussianCopulaGenerator",
+    "CensusTable",
+    "CovarianceModel",
+    "decaying_spectrum",
+    "rescale_to_trace",
+    "two_level_spectrum",
+    "SyntheticDataset",
+    "generate_dataset",
+    "VectorAutoregressiveGenerator",
+    # exceptions
+    "ConfigurationError",
+    "ConvergenceError",
+    "NotPositiveDefiniteError",
+    "ReproError",
+    "ShapeError",
+    "SpectrumError",
+    "ValidationError",
+    # metrics
+    "amplification_factor",
+    "amplification_prevents_breach",
+    "breach_occurs",
+    "posterior_distribution",
+    "worst_case_posterior",
+    "correlation_dissimilarity",
+    "mean_square_error",
+    "per_attribute_rmse",
+    "root_mean_square_error",
+    "interval_privacy",
+    "mutual_information_privacy",
+    "privacy_gain",
+    # randomization
+    "AdditiveNoiseScheme",
+    "DisguisedDataset",
+    "NoiseModel",
+    "RandomizationScheme",
+    "CorrelatedNoiseScheme",
+    "reconstruct_distribution",
+    "WarnerRandomizedResponse",
+    # reconstruction
+    "ReconstructionResult",
+    "Reconstructor",
+    "BayesEstimateReconstructor",
+    "KalmanSmootherReconstructor",
+    "MAPGradientReconstructor",
+    "NoiseDistributionReconstructor",
+    "ConditionalDisclosureReconstructor",
+    "PCAReconstructor",
+    "ComponentSelector",
+    "EnergyFractionSelector",
+    "FixedCountSelector",
+    "LargestGapSelector",
+    "SpectralFilteringReconstructor",
+    "marchenko_pastur_bounds",
+    "UnivariateReconstructor",
+    "WienerSmootherReconstructor",
+    # mining
+    "AprioriMiner",
+    "FrequentItemset",
+    "MaskScheme",
+    "GaussianNaiveBayes",
+    "utility_report",
+    # stats
+    "Density",
+    "GaussianDensity",
+    "GaussianMixtureDensity",
+    "HistogramDensity",
+    "LaplaceDensity",
+    "UniformDensity",
+    "GaussianKDE",
+    "MultivariateNormal",
+]

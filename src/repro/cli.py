@@ -1,0 +1,166 @@
+"""Command-line interface: regenerate the paper's figures and ablations.
+
+Usage (after ``pip install -e .``)::
+
+    repro figure1                     # Figure 1 at default scale
+    repro figure4 --trials 3          # average 3 runs per sweep point
+    repro figure2 --plot              # add an ASCII line chart
+    repro theorem52                   # Theorem 5.2 numeric check
+    repro ablation-selection          # DESIGN.md ablations A2-A6
+    python -m repro figure2           # module form
+
+Output is the same text table the benchmark harness prints (plus an
+optional terminal plot).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.ablations import (
+    run_ablation_covariance,
+    run_ablation_marginals,
+    run_ablation_samplesize,
+    run_ablation_selection,
+    run_ablation_utility,
+)
+from repro.experiments.ascii_plot import plot_series
+from repro.experiments.config import (
+    DEFAULT_NOISE_STD,
+    DEFAULT_RECORDS,
+    SweepConfig,
+)
+from repro.experiments.reporting import render_series
+from repro.experiments.runners import (
+    run_experiment1_attributes,
+    run_experiment2_principal_components,
+    run_experiment3_nonprincipal_eigenvalues,
+    run_experiment4_correlated_noise,
+    run_theorem52_verification,
+)
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = {
+    "figure1": (
+        run_experiment1_attributes,
+        "RMSE vs number of attributes (Experiment 1)",
+    ),
+    "figure2": (
+        run_experiment2_principal_components,
+        "RMSE vs number of principal components (Experiment 2)",
+    ),
+    "figure3": (
+        run_experiment3_nonprincipal_eigenvalues,
+        "RMSE vs non-principal eigenvalue (Experiment 3)",
+    ),
+    "figure4": (
+        run_experiment4_correlated_noise,
+        "RMSE vs noise correlation dissimilarity (Experiment 4)",
+    ),
+}
+
+_ABLATIONS = {
+    "ablation-selection": (
+        run_ablation_selection,
+        "A2: PCA-DR component-selection rules",
+    ),
+    "ablation-covariance": (
+        run_ablation_covariance,
+        "A3: Theorem-5.1 estimate vs oracle covariance",
+    ),
+    "ablation-samplesize": (
+        run_ablation_samplesize,
+        "A4: attack accuracy vs number of records",
+    ),
+    "ablation-utility": (
+        run_ablation_utility,
+        "A5: naive-Bayes utility of disguised data",
+    ),
+    "ablation-marginals": (
+        run_ablation_marginals,
+        "A6: non-normal marginals (Gaussian copula)",
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the figures of 'Deriving Private Information from "
+            "Randomized Data' (Huang, Du, Chen; SIGMOD 2005)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="experiment", required=True)
+    for name, (_, help_text) in _FIGURES.items():
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument(
+            "--records",
+            type=int,
+            default=DEFAULT_RECORDS,
+            help=f"rows per generated dataset (default {DEFAULT_RECORDS})",
+        )
+        sub.add_argument(
+            "--noise-std",
+            type=float,
+            default=DEFAULT_NOISE_STD,
+            help=f"noise standard deviation (default {DEFAULT_NOISE_STD})",
+        )
+        sub.add_argument(
+            "--trials",
+            type=int,
+            default=1,
+            help="independent repetitions averaged per sweep point",
+        )
+        sub.add_argument(
+            "--seed",
+            type=int,
+            default=2005,
+            help="root random seed (default 2005)",
+        )
+        sub.add_argument(
+            "--plot",
+            action="store_true",
+            help="also draw the series as an ASCII line chart",
+        )
+    for name, (_, help_text) in _ABLATIONS.items():
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument("--plot", action="store_true",
+                         help="also draw an ASCII line chart")
+    subparsers.add_parser(
+        "theorem52", help="verify Theorem 5.2 numerically"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.experiment == "theorem52":
+        series = run_theorem52_verification()
+    elif args.experiment in _ABLATIONS:
+        runner, _ = _ABLATIONS[args.experiment]
+        series = runner()
+    else:
+        runner, _ = _FIGURES[args.experiment]
+        config = SweepConfig(
+            n_records=args.records,
+            noise_std=args.noise_std,
+            n_trials=args.trials,
+            seed=args.seed,
+        )
+        series = runner(config)
+    print(render_series(series))
+    if getattr(args, "plot", False):
+        print()
+        print(plot_series(series))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Core orchestration: threat models, attack pipelines, noise design.
+
+This layer ties the substrates together the way the paper's experiments
+do: generate data, disguise it, run a battery of attacks, score the
+reconstructions — plus the Section 8 defense that designs correlated
+noise to a target similarity with the data.
+"""
+
+from repro.core.defense import NoiseDesigner, design_noise_spectrum
+from repro.core.pipeline import (
+    AttackOutcome,
+    AttackPipeline,
+    PipelineReport,
+    evaluate_attacks,
+)
+from repro.core.threat_model import ThreatModel
+
+__all__ = [
+    "NoiseDesigner",
+    "design_noise_spectrum",
+    "AttackOutcome",
+    "AttackPipeline",
+    "PipelineReport",
+    "evaluate_attacks",
+    "ThreatModel",
+]

@@ -1,0 +1,173 @@
+"""End-to-end attack pipeline: generate, disguise, attack, score.
+
+This is the paper's experimental loop (Section 7.1) as a reusable
+object.  Each run produces a :class:`PipelineReport` holding every
+attack's reconstruction error, which the experiment runners aggregate
+into the figures' series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticDataset
+from repro.exceptions import ConfigurationError
+from repro.metrics.error import per_attribute_rmse, root_mean_square_error
+from repro.randomization.base import DisguisedDataset, RandomizationScheme
+from repro.reconstruction.base import ReconstructionResult, Reconstructor
+from repro.utils.rng import as_generator
+
+__all__ = ["AttackOutcome", "PipelineReport", "evaluate_attacks", "AttackPipeline"]
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """One attack's performance on one disguised dataset.
+
+    Attributes
+    ----------
+    name:
+        Attack label (the key used in the attack battery).
+    rmse:
+        Root mean square reconstruction error — the paper's privacy
+        number (lower = less privacy).
+    attribute_rmse:
+        Per-attribute breakdown, shape ``(m,)``.
+    result:
+        The full :class:`ReconstructionResult` with method diagnostics.
+    """
+
+    name: str
+    rmse: float
+    attribute_rmse: np.ndarray
+    result: ReconstructionResult
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """All attack outcomes for one generated-and-disguised dataset."""
+
+    outcomes: dict[str, AttackOutcome]
+    dataset: DisguisedDataset
+    metadata: dict = field(default_factory=dict)
+
+    def rmse(self, name: str) -> float:
+        """RMSE of a named attack."""
+        try:
+            return self.outcomes[name].rmse
+        except KeyError:
+            raise KeyError(
+                f"no attack named {name!r}; available: "
+                f"{sorted(self.outcomes)}"
+            ) from None
+
+    @property
+    def ranking(self) -> list[str]:
+        """Attack names sorted from most to least accurate."""
+        return sorted(self.outcomes, key=lambda name: self.outcomes[name].rmse)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}={outcome.rmse:.3f}"
+            for name, outcome in sorted(self.outcomes.items())
+        )
+        return f"PipelineReport({parts})"
+
+
+def evaluate_attacks(
+    dataset: DisguisedDataset,
+    attacks: dict[str, Reconstructor],
+) -> dict[str, AttackOutcome]:
+    """Run every attack on a disguised dataset and score it.
+
+    Attacks see only the public view; scoring uses the private original.
+    """
+    if not attacks:
+        raise ConfigurationError("'attacks' must contain at least one attack")
+    outcomes: dict[str, AttackOutcome] = {}
+    for name, reconstructor in attacks.items():
+        result = reconstructor.reconstruct(dataset)
+        outcomes[name] = AttackOutcome(
+            name=name,
+            rmse=root_mean_square_error(dataset.original, result),
+            attribute_rmse=per_attribute_rmse(dataset.original, result),
+            result=result,
+        )
+    return outcomes
+
+
+class AttackPipeline:
+    """Reusable generate-disguise-attack-score loop.
+
+    Parameters
+    ----------
+    scheme:
+        The randomization scheme under evaluation.
+    attacks:
+        Name-to-reconstructor battery (e.g. from
+        :meth:`~repro.core.threat_model.ThreatModel.build_attacks`).
+    """
+
+    def __init__(
+        self,
+        scheme: RandomizationScheme,
+        attacks: dict[str, Reconstructor],
+    ):
+        if not isinstance(scheme, RandomizationScheme):
+            raise ConfigurationError(
+                "scheme must be a RandomizationScheme, got "
+                f"{type(scheme).__name__}"
+            )
+        if not attacks:
+            raise ConfigurationError("'attacks' must be non-empty")
+        for name, attack in attacks.items():
+            if not isinstance(attack, Reconstructor):
+                raise ConfigurationError(
+                    f"attack {name!r} is not a Reconstructor"
+                )
+        self._scheme = scheme
+        self._attacks = dict(attacks)
+
+    @property
+    def scheme(self) -> RandomizationScheme:
+        """The randomization scheme under evaluation."""
+        return self._scheme
+
+    @property
+    def attack_names(self) -> list[str]:
+        """Names of the configured attacks."""
+        return list(self._attacks)
+
+    def run(self, original, rng=None, metadata=None) -> PipelineReport:
+        """Disguise an original table and evaluate every attack on it.
+
+        Parameters
+        ----------
+        original:
+            The private table — a raw ``(n, m)`` matrix or a
+            :class:`~repro.data.synthetic.SyntheticDataset`.
+        rng:
+            Seed or generator for the noise draw.
+        metadata:
+            Optional sweep-point annotations copied into the report.
+        """
+        if isinstance(original, SyntheticDataset):
+            table = original.values
+        else:
+            table = original
+        generator = as_generator(rng)
+        disguised = self._scheme.disguise(table, generator)
+        outcomes = evaluate_attacks(disguised, self._attacks)
+        return PipelineReport(
+            outcomes=outcomes,
+            dataset=disguised,
+            metadata=dict(metadata or {}),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"AttackPipeline(scheme={self._scheme!r}, "
+            f"attacks={self.attack_names})"
+        )

@@ -1,0 +1,112 @@
+"""Adversary-knowledge descriptions mapped to applicable attacks.
+
+Section 3 catalogs the information sources that can break randomization:
+attribute dependency, sample dependency, partial value disclosure, and
+data-mining results.  A :class:`ThreatModel` states which of these an
+adversary holds and assembles the matching attack battery, so examples
+and the pipeline can express "an adversary who knows the noise
+distribution and two leaked columns" declaratively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.reconstruction.base import Reconstructor
+from repro.reconstruction.bedr import BayesEstimateReconstructor
+from repro.reconstruction.kalman import KalmanSmootherReconstructor
+from repro.reconstruction.ndr import NoiseDistributionReconstructor
+from repro.reconstruction.partial_disclosure import (
+    ConditionalDisclosureReconstructor,
+)
+from repro.reconstruction.pca_dr import PCAReconstructor
+from repro.reconstruction.spectral_filtering import (
+    SpectralFilteringReconstructor,
+)
+from repro.reconstruction.udr import UnivariateReconstructor
+from repro.reconstruction.wiener import WienerSmootherReconstructor
+
+__all__ = ["ThreatModel"]
+
+
+@dataclass(frozen=True)
+class ThreatModel:
+    """What the adversary knows beyond the published table.
+
+    Attributes
+    ----------
+    exploits_correlations:
+        Whether the adversary models cross-attribute correlation — the
+        paper's central switch (UDR vs PCA-DR/BE-DR).
+    exploits_serial_dependency:
+        Whether records are ordered (time series) and the adversary
+        smooths across them (Section 3's sample dependency).
+    leaked_attributes:
+        Indices of attributes whose exact values leaked via a side
+        channel (Section 3's partial value disclosure).
+    leaked_values:
+        The leaked values, shape ``(n, len(leaked_attributes))``.
+    udr_prior:
+        Prior source for the univariate baseline (``"gaussian"`` or
+        ``"reconstructed"``).
+    """
+
+    exploits_correlations: bool = True
+    exploits_serial_dependency: bool = False
+    leaked_attributes: tuple = ()
+    leaked_values: object = None
+    udr_prior: str = "gaussian"
+    _extra: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self):
+        has_indices = len(self.leaked_attributes) > 0
+        has_values = self.leaked_values is not None
+        if has_indices != has_values:
+            raise ConfigurationError(
+                "leaked_attributes and leaked_values must be given together"
+            )
+
+    @property
+    def has_leak(self) -> bool:
+        """True when partial value disclosure is part of the model."""
+        return len(self.leaked_attributes) > 0
+
+    def build_attacks(self) -> dict[str, Reconstructor]:
+        """Assemble the attack battery this adversary can mount.
+
+        Returns a name-to-reconstructor mapping in escalating order of
+        exploited knowledge: NDR and UDR always apply; the correlation
+        attacks (SF, PCA-DR, BE-DR) require ``exploits_correlations``;
+        the Wiener smoother requires serial dependency; the conditional
+        attack requires a leak.
+        """
+        attacks: dict[str, Reconstructor] = {
+            "NDR": NoiseDistributionReconstructor(),
+            "UDR": UnivariateReconstructor(prior=self.udr_prior),
+        }
+        if self.exploits_correlations:
+            attacks["SF"] = SpectralFilteringReconstructor()
+            attacks["PCA-DR"] = PCAReconstructor()
+            attacks["BE-DR"] = BayesEstimateReconstructor()
+        if self.exploits_serial_dependency:
+            attacks["Wiener"] = WienerSmootherReconstructor()
+            attacks["Kalman"] = KalmanSmootherReconstructor()
+        if self.has_leak:
+            attacks["BE-DR+leak"] = ConditionalDisclosureReconstructor(
+                np.asarray(self.leaked_attributes, dtype=np.intp),
+                self.leaked_values,
+            )
+        return attacks
+
+    def __repr__(self) -> str:
+        flags = []
+        if self.exploits_correlations:
+            flags.append("correlations")
+        if self.exploits_serial_dependency:
+            flags.append("serial")
+        if self.has_leak:
+            flags.append(f"leak[{len(self.leaked_attributes)}]")
+        return f"ThreatModel({', '.join(flags) or 'baseline'})"

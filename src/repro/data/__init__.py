@@ -1,0 +1,31 @@
+"""Synthetic-data substrate reproducing the paper's Section 7.1 pipeline.
+
+The paper generates covariance matrices "in reverse": choose eigenvalues,
+draw a random orthonormal eigenbasis via Gram-Schmidt, form ``C = Q
+diag(lambda) Q^T``, then sample multivariate-normal records from ``C``
+(Matlab's ``mvnrnd``; here :class:`repro.stats.mvn.MultivariateNormal`).
+"""
+
+from repro.data.copula import GaussianCopulaGenerator
+from repro.data.covariance_builder import CovarianceModel
+from repro.data.census import CensusLikeGenerator, CensusTable
+from repro.data.spectra import (
+    decaying_spectrum,
+    rescale_to_trace,
+    two_level_spectrum,
+)
+from repro.data.synthetic import SyntheticDataset, generate_dataset
+from repro.data.timeseries import VectorAutoregressiveGenerator
+
+__all__ = [
+    "GaussianCopulaGenerator",
+    "CovarianceModel",
+    "CensusLikeGenerator",
+    "CensusTable",
+    "decaying_spectrum",
+    "rescale_to_trace",
+    "two_level_spectrum",
+    "SyntheticDataset",
+    "generate_dataset",
+    "VectorAutoregressiveGenerator",
+]

@@ -1,0 +1,149 @@
+"""Serially dependent data for the sample-dependency extension.
+
+Section 3 lists *sample dependency* (e.g. time series) as a privacy risk
+orthogonal to attribute correlation: "various techniques are available
+from the signal processing literature to de-noise the contaminated
+signals."  This module generates stationary VAR(1)/AR(1) data so the
+Wiener-smoother attack (:mod:`repro.reconstruction.wiener`) has a
+realistic target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import as_generator
+from repro.utils.validation import (
+    check_in_range,
+    check_matrix,
+    check_positive_int,
+)
+
+__all__ = ["VectorAutoregressiveGenerator"]
+
+
+class VectorAutoregressiveGenerator:
+    """Stationary first-order vector autoregression ``x_t = A x_{t-1} + w_t``.
+
+    Parameters
+    ----------
+    coefficient:
+        Either a scalar ``phi`` (same AR(1) coefficient on every channel,
+        diagonal ``A = phi * I``) or a full ``(m, m)`` matrix whose
+        spectral radius must be below 1 for stationarity.
+    innovation_std:
+        Standard deviation of the i.i.d. Gaussian innovations ``w_t``.
+    n_channels:
+        Number of parallel series ``m`` (only needed for scalar
+        ``coefficient``).
+    """
+
+    def __init__(
+        self,
+        coefficient,
+        *,
+        innovation_std: float = 1.0,
+        n_channels: int | None = None,
+    ):
+        if np.isscalar(coefficient):
+            phi = check_in_range(
+                coefficient, "coefficient", low=-1.0, high=1.0,
+                inclusive_low=False, inclusive_high=False,
+            )
+            m = check_positive_int(
+                n_channels if n_channels is not None else 1, "n_channels"
+            )
+            self._transition = phi * np.eye(m)
+        else:
+            matrix = check_matrix(coefficient, "coefficient")
+            if matrix.shape[0] != matrix.shape[1]:
+                raise ValidationError("'coefficient' matrix must be square")
+            radius = float(np.max(np.abs(np.linalg.eigvals(matrix))))
+            if radius >= 1.0:
+                raise ValidationError(
+                    f"spectral radius {radius:.4g} >= 1; the VAR(1) process "
+                    "is not stationary"
+                )
+            if n_channels is not None and n_channels != matrix.shape[0]:
+                raise ValidationError(
+                    "n_channels conflicts with the coefficient matrix size"
+                )
+            self._transition = matrix
+        self._innovation_std = check_in_range(
+            innovation_std, "innovation_std", low=0.0, inclusive_low=False
+        )
+
+    @property
+    def n_channels(self) -> int:
+        """Number of parallel series."""
+        return int(self._transition.shape[0])
+
+    @property
+    def transition(self) -> np.ndarray:
+        """Transition matrix ``A`` (copy)."""
+        return self._transition.copy()
+
+    @property
+    def innovation_std(self) -> float:
+        """Innovation standard deviation."""
+        return self._innovation_std
+
+    def stationary_covariance(self, *, max_terms: int = 10_000) -> np.ndarray:
+        """Stationary covariance: solves ``S = A S A^T + s^2 I``.
+
+        Computed by the Neumann series ``sum_k A^k (s^2 I) (A^T)^k``,
+        truncated when terms fall below machine precision.
+        """
+        m = self.n_channels
+        term = self._innovation_std**2 * np.eye(m)
+        total = term.copy()
+        for _ in range(max_terms):
+            term = self._transition @ term @ self._transition.T
+            total += term
+            if float(np.abs(term).max()) < 1e-14 * float(np.abs(total).max()):
+                return (total + total.T) / 2.0
+        raise ValidationError(
+            "stationary covariance did not converge; the process is too "
+            "close to the unit root"
+        )
+
+    def sample(
+        self,
+        n_steps: int,
+        *,
+        burn_in: int = 200,
+        rng=None,
+    ) -> np.ndarray:
+        """Simulate ``n_steps`` observations, shape ``(n_steps, m)``.
+
+        A burn-in period is discarded so the returned slice is
+        approximately stationary regardless of the zero initial state.
+        """
+        steps = check_positive_int(n_steps, "n_steps")
+        warmup = check_positive_int(burn_in, "burn_in", minimum=0)
+        generator = as_generator(rng)
+        m = self.n_channels
+        state = np.zeros(m)
+        total = warmup + steps
+        innovations = generator.normal(
+            0.0, self._innovation_std, size=(total, m)
+        )
+        output = np.empty((steps, m), dtype=np.float64)
+        for t in range(total):
+            state = self._transition @ state + innovations[t]
+            if t >= warmup:
+                output[t - warmup] = state
+        return output
+
+    def autocovariance(self, lag: int) -> np.ndarray:
+        """Theoretical lag-``lag`` autocovariance ``A^lag S``."""
+        check_positive_int(lag, "lag", minimum=0)
+        stationary = self.stationary_covariance()
+        return np.linalg.matrix_power(self._transition, lag) @ stationary
+
+    def __repr__(self) -> str:
+        return (
+            f"VectorAutoregressiveGenerator(m={self.n_channels}, "
+            f"innovation_std={self._innovation_std:g})"
+        )

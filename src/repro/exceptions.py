@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures without also swallowing programming
+errors such as :class:`TypeError` raised by NumPy itself.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "ShapeError",
+    "NotFittedError",
+    "NotPositiveDefiniteError",
+    "ConvergenceError",
+    "SpectrumError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input value failed validation (wrong dtype, NaN, out of range)."""
+
+
+class ShapeError(ValidationError):
+    """An array argument has an incompatible shape."""
+
+    def __init__(self, name: str, expected: str, actual: tuple[int, ...]):
+        self.name = name
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"argument {name!r} has shape {actual}, expected {expected}"
+        )
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """An estimator method requiring :meth:`fit` was called before it."""
+
+    def __init__(self, estimator: object):
+        name = type(estimator).__name__
+        super().__init__(
+            f"{name} is not fitted yet; call 'fit' before using this method"
+        )
+
+
+class NotPositiveDefiniteError(ReproError, ValueError):
+    """A matrix required to be positive (semi-)definite is not."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative procedure failed to converge within its budget."""
+
+    def __init__(self, message: str, iterations: int | None = None):
+        self.iterations = iterations
+        if iterations is not None:
+            message = f"{message} (after {iterations} iterations)"
+        super().__init__(message)
+
+
+class SpectrumError(ValidationError):
+    """An eigenvalue specification is invalid (negative, empty, unordered)."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An experiment or scheme configuration is inconsistent."""

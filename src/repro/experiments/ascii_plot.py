@@ -1,0 +1,108 @@
+"""Terminal line plots for experiment series (no matplotlib available).
+
+The paper communicates its results as line charts; this renderer draws an
+:class:`~repro.experiments.config.ExperimentSeries` as an ASCII chart so
+`repro figure1 --plot` visually matches the published figures in any
+terminal.  One glyph per curve, row-major rasterization, y-axis
+auto-scaled with padded ticks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.experiments.config import ExperimentSeries
+from repro.utils.validation import check_positive_int
+
+__all__ = ["plot_series"]
+
+_GLYPHS = "*o+x#@%&"
+
+
+def plot_series(
+    series: ExperimentSeries,
+    *,
+    width: int = 72,
+    height: int = 20,
+) -> str:
+    """Render an experiment series as an ASCII line chart.
+
+    Parameters
+    ----------
+    series:
+        The regenerated figure data.
+    width, height:
+        Plot-area size in characters (axes and legend are extra).
+
+    Returns
+    -------
+    str
+        Multi-line chart; curves are drawn with distinct glyphs listed in
+        the legend, later curves overdrawing earlier ones on collisions.
+    """
+    if not isinstance(series, ExperimentSeries):
+        raise ValidationError(
+            f"expected an ExperimentSeries, got {type(series).__name__}"
+        )
+    width = check_positive_int(width, "width", minimum=20)
+    height = check_positive_int(height, "height", minimum=5)
+    if len(series.methods) > len(_GLYPHS):
+        raise ValidationError(
+            f"cannot plot more than {len(_GLYPHS)} curves"
+        )
+
+    x = series.x_values
+    x_lo, x_hi = float(x.min()), float(x.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    all_values = np.concatenate(
+        [series.series[m] for m in series.methods]
+    )
+    y_lo, y_hi = float(all_values.min()), float(all_values.max())
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    pad = 0.05 * (y_hi - y_lo)
+    y_lo -= pad
+    y_hi += pad
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    def to_col(value: float) -> int:
+        return int(round((value - x_lo) / (x_hi - x_lo) * (width - 1)))
+
+    def to_row(value: float) -> int:
+        fraction = (value - y_lo) / (y_hi - y_lo)
+        return (height - 1) - int(round(fraction * (height - 1)))
+
+    for glyph, method in zip(_GLYPHS, series.methods):
+        curve = series.series[method]
+        # Dense interpolation so curves read as lines, not dots.
+        dense_x = np.linspace(x_lo, x_hi, width * 2)
+        dense_y = np.interp(dense_x, x, curve)
+        for xv, yv in zip(dense_x, dense_y):
+            canvas[to_row(float(yv))][to_col(float(xv))] = glyph
+        # Re-mark the actual data points last so they stay visible.
+        for xv, yv in zip(x, curve):
+            canvas[to_row(float(yv))][to_col(float(xv))] = glyph
+
+    lines = [f"  {series.name}: {series.x_label}"]
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            label = f"{y_hi:8.2f} |"
+        elif row_index == height - 1:
+            label = f"{y_lo:8.2f} |"
+        else:
+            label = "         |"
+        lines.append(label + "".join(row))
+    lines.append("         +" + "-" * width)
+    left = f"{x_lo:g}"
+    right = f"{x_hi:g}"
+    gap = max(width - len(left) - len(right), 1)
+    lines.append("          " + left + " " * gap + right)
+    legend = "   ".join(
+        f"{glyph} {method}"
+        for glyph, method in zip(_GLYPHS, series.methods)
+    )
+    lines.append(f"  legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,180 @@
+"""Privacy-breach analysis for discrete randomization operators.
+
+The other privacy-analysis line the paper cites (Section 2): "Evfimievski
+et al. presented a formula of privacy breaches and a methodology to limit
+the breaches" (PODS 2003).  Their framework is channel-based: a discrete
+randomization operator is a matrix of probabilities ``P(y | x)``, and a
+*rho1-to-rho2 breach* occurs when some observed output ``y`` lifts the
+adversary's belief in a property from below ``rho1`` to above ``rho2``.
+
+Their key sufficient condition is *amplification*: if no output ``y``
+distinguishes two inputs by more than a factor ``gamma``
+(``p(y|x1)/p(y|x2) <= gamma`` for all ``x1, x2, y``), then no
+rho1-to-rho2 breach is possible whenever
+
+    rho2 / (1 - rho2) * (1 - rho1) / rho1  >  gamma.
+
+(Amplification is a direct ancestor of differential privacy's
+``e^epsilon`` bound, which is why this module sits naturally in a paper
+that helped motivate the shift to DP.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_probability, check_vector
+
+__all__ = [
+    "posterior_distribution",
+    "worst_case_posterior",
+    "breach_occurs",
+    "amplification_factor",
+    "amplification_prevents_breach",
+]
+
+
+def _check_channel(channel) -> np.ndarray:
+    """Validate a column-stochastic channel matrix P[y, x] = P(y | x)."""
+    matrix = np.asarray(channel, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValidationError("'channel' must be a 2-D matrix P[y, x]")
+    if np.any(matrix < 0.0):
+        raise ValidationError("channel probabilities must be non-negative")
+    column_sums = matrix.sum(axis=0)
+    if not np.allclose(column_sums, 1.0, atol=1e-9):
+        raise ValidationError(
+            "each channel column must sum to 1 (a distribution over y "
+            "given x)"
+        )
+    return matrix
+
+
+def _check_prior(prior, n_inputs: int) -> np.ndarray:
+    vector = check_vector(prior, "prior")
+    if vector.size != n_inputs:
+        raise ValidationError(
+            f"prior has {vector.size} entries for a channel with "
+            f"{n_inputs} inputs"
+        )
+    if np.any(vector < 0.0):
+        raise ValidationError("prior probabilities must be non-negative")
+    total = float(vector.sum())
+    if not np.isclose(total, 1.0, atol=1e-9):
+        raise ValidationError("prior must sum to 1")
+    return vector / total
+
+
+def posterior_distribution(prior, channel, output: int) -> np.ndarray:
+    """Bayes posterior over inputs after observing output ``output``.
+
+    Parameters
+    ----------
+    prior:
+        Prior distribution over the ``k`` input values, shape ``(k,)``.
+    channel:
+        Column-stochastic matrix ``P[y, x] = P(y | x)``.
+    output:
+        Index of the observed randomized value ``y``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``P(x | y = output)``, shape ``(k,)``.
+    """
+    matrix = _check_channel(channel)
+    pi = _check_prior(prior, matrix.shape[1])
+    if not 0 <= output < matrix.shape[0]:
+        raise ValidationError(
+            f"output must be in [0, {matrix.shape[0] - 1}], got {output}"
+        )
+    joint = matrix[output] * pi
+    total = joint.sum()
+    if total <= 0.0:
+        raise ValidationError(
+            f"output {output} has zero probability under this prior"
+        )
+    return joint / total
+
+
+def worst_case_posterior(prior, channel, property_inputs) -> float:
+    """Highest posterior probability of a property over all outputs.
+
+    A *property* is a subset of input values (e.g. "the true item is in
+    the basket" = inputs {1}).  The adversary sees one output; the worst
+    case over outputs is what breach analysis bounds.
+    """
+    matrix = _check_channel(channel)
+    pi = _check_prior(prior, matrix.shape[1])
+    indices = np.asarray(property_inputs, dtype=np.intp).ravel()
+    if indices.size == 0:
+        raise ValidationError("'property_inputs' must be non-empty")
+    if indices.min() < 0 or indices.max() >= matrix.shape[1]:
+        raise ValidationError("'property_inputs' out of range")
+    worst = 0.0
+    for output in range(matrix.shape[0]):
+        joint = matrix[output] * pi
+        total = joint.sum()
+        if total <= 0.0:
+            continue
+        worst = max(worst, float(joint[indices].sum() / total))
+    return worst
+
+
+def breach_occurs(
+    prior, channel, property_inputs, *, rho1: float, rho2: float
+) -> bool:
+    """Whether a rho1-to-rho2 breach occurs for the given property.
+
+    True when the property's prior probability is at most ``rho1`` and
+    some output raises its posterior to at least ``rho2``.
+    """
+    rho1 = check_probability(rho1, "rho1")
+    rho2 = check_probability(rho2, "rho2")
+    if rho2 <= rho1:
+        raise ValidationError("rho2 must exceed rho1 for a breach test")
+    matrix = _check_channel(channel)
+    pi = _check_prior(prior, matrix.shape[1])
+    indices = np.asarray(property_inputs, dtype=np.intp).ravel()
+    prior_mass = float(pi[indices].sum())
+    if prior_mass > rho1:
+        return False
+    return worst_case_posterior(pi, matrix, indices) >= rho2
+
+
+def amplification_factor(channel) -> float:
+    """The operator's amplification ``gamma``.
+
+    ``gamma = max_y max_{x1, x2} p(y|x1) / p(y|x2)``; smaller is more
+    private.  ``gamma = 1`` means the output is independent of the input
+    (perfect privacy, zero utility); unbounded gamma (some ``p(y|x)=0``)
+    means some output reveals its input with certainty.
+    """
+    matrix = _check_channel(channel)
+    gamma = 1.0
+    for row in matrix:
+        positive = row[row > 0.0]
+        if positive.size < matrix.shape[1]:
+            return float("inf")
+        gamma = max(gamma, float(positive.max() / positive.min()))
+    return gamma
+
+
+def amplification_prevents_breach(
+    channel, *, rho1: float, rho2: float
+) -> bool:
+    """Evfimievski et al.'s sufficient no-breach condition.
+
+    An operator with amplification ``gamma`` admits no rho1-to-rho2
+    breach for *any* prior and *any* property when
+
+        rho2 (1 - rho1) / (rho1 (1 - rho2)) > gamma.
+    """
+    rho1 = check_probability(rho1, "rho1")
+    rho2 = check_probability(rho2, "rho2")
+    if not 0.0 < rho1 < rho2 < 1.0:
+        raise ValidationError("need 0 < rho1 < rho2 < 1")
+    gamma = amplification_factor(channel)
+    odds_ratio = (rho2 * (1.0 - rho1)) / (rho1 * (1.0 - rho2))
+    return odds_ratio > gamma

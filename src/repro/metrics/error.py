@@ -1,0 +1,62 @@
+"""Reconstruction-error metrics — the paper's privacy measure.
+
+"The difference between X* and X can be used as the measure to quantify
+how much privacy is preserved" (Section 3).  All figures plot the root
+mean square error over every cell of the table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.reconstruction.base import ReconstructionResult
+from repro.utils.validation import check_matrix
+
+__all__ = ["mean_square_error", "root_mean_square_error", "per_attribute_rmse"]
+
+
+def _paired(original, estimate) -> tuple[np.ndarray, np.ndarray]:
+    """Validate an (original, estimate) pair into aligned matrices."""
+    if isinstance(estimate, ReconstructionResult):
+        estimate = estimate.estimate
+    x = check_matrix(original, "original", allow_1d=True)
+    x_hat = check_matrix(estimate, "estimate", allow_1d=True)
+    if x.shape != x_hat.shape:
+        raise ValidationError(
+            f"original has shape {x.shape} but estimate has {x_hat.shape}"
+        )
+    return x, x_hat
+
+
+def mean_square_error(original, estimate) -> float:
+    """Mean square error over every cell: ``mean((X - X_hat)^2)``.
+
+    For the NDR attack this equals the empirical noise variance
+    (Section 4.1's derivation).
+
+    Parameters
+    ----------
+    original:
+        The private table ``X`` (``(n, m)`` or a single column).
+    estimate:
+        The reconstruction — a matrix or a
+        :class:`~repro.reconstruction.base.ReconstructionResult`.
+    """
+    x, x_hat = _paired(original, estimate)
+    return float(np.mean((x - x_hat) ** 2))
+
+
+def root_mean_square_error(original, estimate) -> float:
+    """RMSE, the y-axis of every figure in the paper's evaluation."""
+    return float(np.sqrt(mean_square_error(original, estimate)))
+
+
+def per_attribute_rmse(original, estimate) -> np.ndarray:
+    """RMSE of each attribute separately, shape ``(m,)``.
+
+    Reveals *which* attributes a scheme exposes most — e.g. attributes
+    aligned with principal directions reconstruct better under PCA-DR.
+    """
+    x, x_hat = _paired(original, estimate)
+    return np.sqrt(np.mean((x - x_hat) ** 2, axis=0))

@@ -1,0 +1,247 @@
+"""Association-rule mining over randomized-response baskets (MASK).
+
+The paper's related work (Section 2) covers the categorical branch of
+randomization: "Rizvi and Haritsa presented a scheme called MASK to mine
+associations with secrecy constraints", building on Warner's randomized
+response.  This module implements that substrate end-to-end:
+
+* :class:`MaskScheme` — per-item independent bit retention/flip of
+  binary transaction data (keep each bit with probability ``p``).
+* Support reconstruction — for a ``k``-itemset, the observed pattern
+  counts relate to the true counts through the ``k``-fold Kronecker
+  power of the single-bit channel; inverting it recovers unbiased
+  support estimates (the MASK estimator).
+* :class:`AprioriMiner` — level-wise frequent-itemset mining that runs
+  identically on plain data or on disguised data with reconstruction.
+
+Together with :mod:`repro.metrics.breach` this covers the categorical
+privacy story the paper positions itself against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_in_range, check_positive_int
+
+__all__ = ["MaskScheme", "AprioriMiner", "FrequentItemset"]
+
+
+def _check_transactions(data, name="transactions") -> np.ndarray:
+    matrix = np.asarray(data)
+    if matrix.ndim != 2:
+        raise ValidationError(f"{name!r} must be a 2-D 0/1 matrix")
+    if matrix.size == 0:
+        raise ValidationError(f"{name!r} must be non-empty")
+    if not np.isin(matrix, (0, 1)).all():
+        raise ValidationError(f"{name!r} must contain only 0 and 1")
+    return matrix.astype(np.int8)
+
+
+class MaskScheme:
+    """MASK randomization: keep each bit w.p. ``p``, flip otherwise.
+
+    Parameters
+    ----------
+    keep_probability:
+        Probability a bit is transmitted truthfully; must differ from
+        0.5 (at 0.5 the output is independent of the data and supports
+        are unrecoverable).
+    """
+
+    def __init__(self, keep_probability: float):
+        p = check_in_range(
+            keep_probability, "keep_probability", low=0.0, high=1.0
+        )
+        if abs(p - 0.5) < 1e-9:
+            raise ValidationError(
+                "keep_probability must not be 0.5; supports would be "
+                "unrecoverable"
+            )
+        self._p = p
+
+    @property
+    def keep_probability(self) -> float:
+        """Probability a bit survives unflipped."""
+        return self._p
+
+    def channel_matrix(self, k: int = 1) -> np.ndarray:
+        """Observation channel for a ``k``-itemset.
+
+        Entry ``[observed, true]`` is the probability of seeing the
+        observed k-bit pattern given the true one; the single-bit channel
+        ``[[p, 1-p], [1-p, p]]`` Kronecker-powered ``k`` times (bits are
+        flipped independently).
+        """
+        check_positive_int(k, "k")
+        single = np.array(
+            [[self._p, 1.0 - self._p], [1.0 - self._p, self._p]]
+        )
+        channel = single
+        for _ in range(k - 1):
+            channel = np.kron(channel, single)
+        return channel
+
+    def disguise(self, transactions, rng=None) -> np.ndarray:
+        """Randomize a 0/1 transaction matrix elementwise."""
+        matrix = _check_transactions(transactions)
+        generator = as_generator(rng)
+        keep = generator.random(matrix.shape) < self._p
+        return np.where(keep, matrix, 1 - matrix).astype(np.int8)
+
+    def estimate_support(self, disguised, itemset) -> float:
+        """Unbiased support estimate of an itemset from disguised data.
+
+        Counts the ``2^k`` observed bit patterns over the itemset's
+        columns, inverts the channel, and reads off the all-ones cell.
+        Estimates are clipped to ``[0, 1]`` (the raw inverse can step
+        outside for small samples).
+
+        Parameters
+        ----------
+        disguised:
+            The randomized transaction matrix.
+        itemset:
+            Iterable of distinct column indices.
+        """
+        matrix = _check_transactions(disguised, "disguised")
+        items = tuple(sorted(set(int(i) for i in itemset)))
+        if not items:
+            raise ValidationError("'itemset' must be non-empty")
+        if items[0] < 0 or items[-1] >= matrix.shape[1]:
+            raise ValidationError(
+                f"itemset {items} out of range for {matrix.shape[1]} items"
+            )
+        k = len(items)
+        columns = matrix[:, items].astype(np.int64)
+        # Pattern id: first item is the most significant bit.
+        weights = 1 << np.arange(k - 1, -1, -1)
+        pattern_ids = columns @ weights
+        observed = np.bincount(pattern_ids, minlength=1 << k).astype(
+            np.float64
+        )
+        true_counts = np.linalg.solve(self.channel_matrix(k), observed)
+        support = true_counts[-1] / matrix.shape[0]
+        return float(np.clip(support, 0.0, 1.0))
+
+    def __repr__(self) -> str:
+        return f"MaskScheme(keep_probability={self._p:g})"
+
+
+@dataclass(frozen=True)
+class FrequentItemset:
+    """A mined itemset and its (estimated) support."""
+
+    items: tuple
+    support: float
+
+    def __post_init__(self):
+        object.__setattr__(self, "items", tuple(sorted(self.items)))
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class AprioriMiner:
+    """Level-wise frequent-itemset mining (Agrawal-Srikant Apriori).
+
+    Works on plain transactions (exact supports) or on MASK-disguised
+    transactions (reconstructed supports) — the comparison between the
+    two runs is the utility story of the categorical randomization
+    branch.
+
+    Parameters
+    ----------
+    min_support:
+        Support threshold in ``(0, 1]``.
+    max_size:
+        Largest itemset size to mine; reconstruction noise grows
+        exponentially with the itemset size (the channel's condition
+        number is ``(2p-1)^-k``), so small caps are realistic.
+    """
+
+    def __init__(self, min_support: float, *, max_size: int = 4):
+        self._min_support = check_in_range(
+            min_support, "min_support", low=0.0, high=1.0,
+            inclusive_low=False,
+        )
+        self._max_size = check_positive_int(max_size, "max_size")
+
+    @property
+    def min_support(self) -> float:
+        """Configured support threshold."""
+        return self._min_support
+
+    def mine_plain(self, transactions) -> list[FrequentItemset]:
+        """Mine exact frequent itemsets from non-disguised data."""
+        matrix = _check_transactions(transactions)
+
+        def support(items):
+            return float(np.mean(matrix[:, list(items)].all(axis=1)))
+
+        return self._levelwise(matrix.shape[1], support)
+
+    def mine_disguised(
+        self, disguised, scheme: MaskScheme
+    ) -> list[FrequentItemset]:
+        """Mine frequent itemsets from MASK-disguised data."""
+        matrix = _check_transactions(disguised, "disguised")
+        if not isinstance(scheme, MaskScheme):
+            raise ValidationError(
+                f"scheme must be a MaskScheme, got {type(scheme).__name__}"
+            )
+
+        def support(items):
+            return scheme.estimate_support(matrix, items)
+
+        return self._levelwise(matrix.shape[1], support)
+
+    # ------------------------------------------------------------------
+    def _levelwise(self, n_items, support_fn) -> list[FrequentItemset]:
+        frequent: list[FrequentItemset] = []
+        current = []
+        for item in range(n_items):
+            s = support_fn((item,))
+            if s >= self._min_support:
+                current.append(FrequentItemset((item,), s))
+        frequent.extend(current)
+
+        size = 2
+        while current and size <= self._max_size:
+            frequent_prev = {fs.items for fs in current}
+            candidates = self._generate_candidates(frequent_prev, size)
+            current = []
+            for candidate in candidates:
+                s = support_fn(candidate)
+                if s >= self._min_support:
+                    current.append(FrequentItemset(candidate, s))
+            frequent.extend(current)
+            size += 1
+        return sorted(
+            frequent, key=lambda fs: (len(fs.items), fs.items)
+        )
+
+    @staticmethod
+    def _generate_candidates(frequent_prev: set, size: int) -> list[tuple]:
+        """Join step + Apriori prune (all subsets must be frequent)."""
+        items = sorted({item for fs in frequent_prev for item in fs})
+        candidates = []
+        for combo in combinations(items, size):
+            subsets_frequent = all(
+                tuple(sub) in frequent_prev
+                for sub in combinations(combo, size - 1)
+            )
+            if subsets_frequent:
+                candidates.append(combo)
+        return candidates
+
+    def __repr__(self) -> str:
+        return (
+            f"AprioriMiner(min_support={self._min_support:g}, "
+            f"max_size={self._max_size})"
+        )

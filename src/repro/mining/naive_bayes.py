@@ -1,0 +1,200 @@
+"""Gaussian naive Bayes trained on moments recovered from disguised data.
+
+The randomization bargain (Sections 1 and 8.1): individual records are
+perturbed, but distributions survive, so distribution-based mining still
+works.  For Gaussian class-conditional models, the only training inputs
+are per-class means and (co)variances — exactly what Theorems 5.1 / 8.2
+recover from disguised data.  Training this classifier on the *recovered*
+moments and comparing its accuracy to one trained on the original data
+quantifies the utility the randomization preserved.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.linalg.covariance import covariance_from_disguised
+from repro.utils.validation import check_matrix
+
+__all__ = ["GaussianNaiveBayes", "utility_report"]
+
+
+class GaussianNaiveBayes:
+    """Naive Bayes with per-class Gaussian attribute models.
+
+    Attributes are treated independently within each class (the "naive"
+    assumption), so training only needs per-class attribute means and
+    variances.
+
+    Parameters
+    ----------
+    variance_floor:
+        Lower bound applied to estimated variances; recovered variances
+        can hit zero after noise subtraction.
+    """
+
+    def __init__(self, *, variance_floor: float = 1e-6):
+        if variance_floor <= 0.0:
+            raise ValidationError(
+                f"variance_floor must be positive, got {variance_floor}"
+            )
+        self._variance_floor = float(variance_floor)
+        self._classes: np.ndarray | None = None
+        self._priors: np.ndarray | None = None
+        self._means: np.ndarray | None = None
+        self._variances: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, features, labels) -> "GaussianNaiveBayes":
+        """Fit on clean (non-disguised) data — the oracle baseline."""
+        matrix = check_matrix(features, "features", min_rows=2)
+        return self._fit_from_moment_source(
+            matrix, labels, noise_covariance=None
+        )
+
+    def fit_disguised(
+        self, disguised_features, labels, noise_covariance
+    ) -> "GaussianNaiveBayes":
+        """Fit on disguised data, correcting moments via Theorem 5.1/8.2.
+
+        Per-class means are unchanged by zero-mean noise; per-class
+        variances are the disguised variances minus the noise variances
+        (the diagonal of the noise covariance), floored at
+        ``variance_floor``.
+        """
+        matrix = check_matrix(disguised_features, "disguised_features",
+                              min_rows=2)
+        return self._fit_from_moment_source(
+            matrix, labels, noise_covariance=noise_covariance
+        )
+
+    def _fit_from_moment_source(self, matrix, labels, *, noise_covariance):
+        label_array = np.asarray(labels).ravel()
+        if label_array.size != matrix.shape[0]:
+            raise ValidationError(
+                f"got {label_array.size} labels for {matrix.shape[0]} rows"
+            )
+        classes = np.unique(label_array)
+        if classes.size < 2:
+            raise ValidationError("need at least two classes to classify")
+        m = matrix.shape[1]
+        means = np.empty((classes.size, m))
+        variances = np.empty((classes.size, m))
+        priors = np.empty(classes.size)
+        for index, label in enumerate(classes):
+            rows = matrix[label_array == label]
+            if rows.shape[0] < 2:
+                raise ValidationError(
+                    f"class {label!r} has fewer than 2 samples"
+                )
+            priors[index] = rows.shape[0] / matrix.shape[0]
+            means[index] = rows.mean(axis=0)
+            if noise_covariance is None:
+                variances[index] = rows.var(axis=0, ddof=1)
+            else:
+                recovered = covariance_from_disguised(
+                    rows, noise_covariance
+                )
+                variances[index] = np.diag(recovered)
+        self._classes = classes
+        self._priors = priors
+        self._means = means
+        self._variances = np.maximum(variances, self._variance_floor)
+        return self
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def _check_fitted(self):
+        if self._classes is None:
+            raise NotFittedError(self)
+
+    def log_joint(self, features) -> np.ndarray:
+        """Per-class log joint ``log P(class) + log P(x | class)``.
+
+        Shape ``(n, n_classes)``.
+        """
+        self._check_fitted()
+        matrix = check_matrix(features, "features")
+        if matrix.shape[1] != self._means.shape[1]:
+            raise ValidationError(
+                f"features have {matrix.shape[1]} attributes, model was "
+                f"trained with {self._means.shape[1]}"
+            )
+        # (n, 1, m) - (1, k, m) -> (n, k, m)
+        centered = matrix[:, None, :] - self._means[None, :, :]
+        log_like = -0.5 * (
+            centered**2 / self._variances[None, :, :]
+            + np.log(2.0 * math.pi * self._variances)[None, :, :]
+        ).sum(axis=2)
+        return log_like + np.log(self._priors)[None, :]
+
+    def predict(self, features) -> np.ndarray:
+        """Most probable class per row."""
+        joint = self.log_joint(features)
+        return self._classes[np.argmax(joint, axis=1)]
+
+    def accuracy(self, features, labels) -> float:
+        """Fraction of rows classified correctly."""
+        predictions = self.predict(features)
+        label_array = np.asarray(labels).ravel()
+        if label_array.size != predictions.size:
+            raise ValidationError(
+                f"got {label_array.size} labels for {predictions.size} rows"
+            )
+        return float(np.mean(predictions == label_array))
+
+    @property
+    def classes(self) -> np.ndarray:
+        """Class labels seen at fit time."""
+        self._check_fitted()
+        return self._classes.copy()
+
+    def __repr__(self) -> str:
+        fitted = self._classes is not None
+        return f"GaussianNaiveBayes(fitted={fitted})"
+
+
+def utility_report(
+    train_original,
+    train_disguised,
+    train_labels,
+    test_features,
+    test_labels,
+    noise_covariance,
+) -> dict[str, float]:
+    """Compare classifier utility: oracle vs naive vs moment-corrected.
+
+    Three Gaussian naive Bayes models are trained and evaluated on the
+    same held-out clean test set:
+
+    * ``"original"`` — trained on the private data (upper bound),
+    * ``"disguised_naive"`` — trained on disguised data *ignoring* the
+      noise (what a careless miner gets),
+    * ``"disguised_corrected"`` — trained on disguised data with
+      Theorem-5.1/8.2 moment correction (the randomization promise).
+
+    Returns the three accuracies keyed by those names.
+    """
+    report = {}
+    report["original"] = (
+        GaussianNaiveBayes()
+        .fit(train_original, train_labels)
+        .accuracy(test_features, test_labels)
+    )
+    report["disguised_naive"] = (
+        GaussianNaiveBayes()
+        .fit(train_disguised, train_labels)
+        .accuracy(test_features, test_labels)
+    )
+    report["disguised_corrected"] = (
+        GaussianNaiveBayes()
+        .fit_disguised(train_disguised, train_labels, noise_covariance)
+        .accuracy(test_features, test_labels)
+    )
+    return report

@@ -1,0 +1,155 @@
+"""Agrawal-Srikant iterative Bayes distribution reconstruction.
+
+The randomization approach's legitimacy rests on this algorithm: "given
+the distribution of random noises, recovering the distribution of the
+original data is possible" (Section 1, citing Agrawal-Srikant [2]).  UDR
+(Section 4.2) also needs the reconstructed prior ``f_X``.
+
+The update, discretized over bins ``a_1..a_K`` with midpoints ``c_k``:
+
+    f'(a_k) = (1/n) * sum_i  f_R(y_i - c_k) f(a_k)
+                              ---------------------------------
+                              sum_j f_R(y_i - c_j) f(a_j) w_j
+
+iterated to a fixed point.  This is an EM algorithm for the mixture
+deconvolution problem; each sweep cannot decrease the likelihood of the
+observed disguised sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError, ValidationError
+from repro.stats.density import Density, HistogramDensity
+from repro.utils.validation import check_positive_int, check_vector
+
+__all__ = ["reconstruct_distribution", "reconstruction_sweep"]
+
+
+def reconstruction_sweep(
+    disguised_samples: np.ndarray,
+    noise_density: Density,
+    edges: np.ndarray,
+    probabilities: np.ndarray,
+) -> np.ndarray:
+    """One Bayes-update sweep over all disguised samples.
+
+    Parameters
+    ----------
+    disguised_samples:
+        Observed ``y_i`` values, shape ``(n,)``.
+    noise_density:
+        The public noise density ``f_R``.
+    edges:
+        Bin edges of the current estimate, shape ``(K + 1,)``.
+    probabilities:
+        Current per-bin probabilities, shape ``(K,)``, summing to one.
+
+    Returns
+    -------
+    numpy.ndarray
+        Updated per-bin probabilities, shape ``(K,)``, summing to one.
+    """
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    # kernel[i, k] = f_R(y_i - c_k)
+    kernel = noise_density.pdf(
+        disguised_samples[:, None] - centers[None, :]
+    )
+    weighted = kernel * probabilities[None, :]
+    denominator = weighted.sum(axis=1, keepdims=True)
+    # Samples falling where the current estimate assigns zero density
+    # contribute nothing this sweep (they re-enter once mass spreads).
+    valid = denominator[:, 0] > 0.0
+    if not np.any(valid):
+        raise ConvergenceError(
+            "every disguised sample has zero likelihood under the current "
+            "estimate; the support grid does not cover the data"
+        )
+    posterior = weighted[valid] / denominator[valid]
+    updated = posterior.mean(axis=0)
+    total = updated.sum()
+    if total <= 0.0:
+        raise ConvergenceError("distribution reconstruction lost all mass")
+    return updated / total
+
+
+def reconstruct_distribution(
+    disguised_samples,
+    noise_density: Density,
+    *,
+    n_bins: int = 64,
+    support: tuple[float, float] | None = None,
+    max_iter: int = 500,
+    tol: float = 1e-3,
+) -> HistogramDensity:
+    """Recover the original univariate distribution from disguised values.
+
+    Parameters
+    ----------
+    disguised_samples:
+        The published values ``y_i = x_i + r_i`` for one attribute.
+    noise_density:
+        Public noise density ``f_R``.
+    n_bins:
+        Resolution of the reconstructed histogram.
+    support:
+        Interval to reconstruct over.  Defaults to the disguised sample
+        range padded by 10% of the noise spread on each side.  (``Y``'s
+        support dilates ``X``'s by the noise, so the true support is
+        narrower, but trimming aggressively risks clipping genuine mass
+        for small samples; padding is the safe default.)
+    max_iter:
+        Iteration budget.
+    tol:
+        Stop when the L1 change between sweeps falls below ``tol``.  EM
+        deconvolution converges geometrically with a rate close to one,
+        so very small tolerances take thousands of sweeps for negligible
+        density change; ``1e-3`` matches the stopping criteria used in
+        the original Agrawal-Srikant implementations.
+
+    Returns
+    -------
+    HistogramDensity
+        The reconstructed estimate of ``f_X``.
+
+    Raises
+    ------
+    ConvergenceError
+        If the sweep budget is exhausted before the estimate stabilizes.
+    """
+    samples = check_vector(disguised_samples, "disguised_samples",
+                           min_length=2)
+    n_bins = check_positive_int(n_bins, "n_bins", minimum=2)
+    max_iter = check_positive_int(max_iter, "max_iter")
+    if tol <= 0.0:
+        raise ValidationError(f"tol must be positive, got {tol}")
+
+    if support is None:
+        noise_lo, noise_hi = noise_density.support(0.999)
+        lo = float(samples.min()) - noise_hi * 0.1
+        hi = float(samples.max()) - noise_lo * 0.1
+        # Y = X + R dilates the support; trimming the full noise width can
+        # clip genuine X mass when n is small, so trim conservatively.
+        if hi <= lo:
+            lo, hi = float(samples.min()), float(samples.max())
+    else:
+        lo, hi = float(support[0]), float(support[1])
+        if hi <= lo:
+            raise ValidationError(
+                f"support upper bound must exceed lower, got [{lo}, {hi}]"
+            )
+    edges = np.linspace(lo, hi, n_bins + 1)
+    probabilities = np.full(n_bins, 1.0 / n_bins)
+
+    for _ in range(max_iter):
+        updated = reconstruction_sweep(
+            samples, noise_density, edges, probabilities
+        )
+        change = float(np.abs(updated - probabilities).sum())
+        probabilities = updated
+        if change < tol:
+            return HistogramDensity(edges, probabilities)
+    raise ConvergenceError(
+        "distribution reconstruction did not converge", iterations=max_iter
+    )

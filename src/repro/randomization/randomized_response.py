@@ -1,0 +1,98 @@
+"""Warner's randomized response for categorical attributes.
+
+The second family of randomization methods the paper surveys (Section 2):
+"The randomized response is mainly used to deal with categorical data",
+citing Warner (1965) and its data-mining descendants (MASK, privacy-
+preserving decision trees).  Included so the library covers both
+randomization branches the paper describes; the reconstruction attacks
+target the additive branch.
+
+Warner's scheme for a binary attribute: with probability ``theta`` report
+the true value, otherwise report its complement.  The population
+proportion ``pi`` of ones is recoverable from the reported proportion
+``lambda`` via ``pi = (lambda + theta - 1) / (2 theta - 1)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_probability
+
+__all__ = ["WarnerRandomizedResponse"]
+
+
+class WarnerRandomizedResponse:
+    """Binary randomized response with truth probability ``theta``.
+
+    Parameters
+    ----------
+    truth_probability:
+        Probability of reporting the true bit; must differ from 0.5
+        (at exactly 0.5 the output carries no information and the
+        proportion estimator is undefined).
+    """
+
+    def __init__(self, truth_probability: float):
+        theta = check_probability(truth_probability, "truth_probability")
+        if abs(theta - 0.5) < 1e-9:
+            raise ValidationError(
+                "truth_probability must not be 0.5; responses would be "
+                "independent of the data"
+            )
+        self._theta = theta
+
+    @property
+    def truth_probability(self) -> float:
+        """Probability of reporting the true value."""
+        return self._theta
+
+    def disguise(self, bits, rng=None) -> np.ndarray:
+        """Randomize an array of 0/1 values elementwise."""
+        data = np.asarray(bits)
+        if not np.isin(data, (0, 1)).all():
+            raise ValidationError("'bits' must contain only 0 and 1")
+        generator = as_generator(rng)
+        keep = generator.random(data.shape) < self._theta
+        return np.where(keep, data, 1 - data).astype(np.int64)
+
+    def estimate_proportion(self, responses) -> float:
+        """Unbiased estimate of the true proportion of ones.
+
+        ``pi_hat = (lambda_hat + theta - 1) / (2 theta - 1)`` clipped to
+        ``[0, 1]`` (the raw estimator can step outside for small samples).
+        """
+        data = np.asarray(responses)
+        if data.size == 0:
+            raise ValidationError("'responses' must be non-empty")
+        if not np.isin(data, (0, 1)).all():
+            raise ValidationError("'responses' must contain only 0 and 1")
+        reported = float(np.mean(data))
+        estimate = (reported + self._theta - 1.0) / (2.0 * self._theta - 1.0)
+        return float(np.clip(estimate, 0.0, 1.0))
+
+    def posterior_truth_probability(self, response: int, prior: float) -> float:
+        """P(true bit = 1 | reported bit, prior P(bit = 1)).
+
+        The per-record privacy view: how confident an adversary becomes
+        about an individual's true bit after seeing the response.  This is
+        the quantity privacy-breach analyses (Evfimievski et al., cited in
+        Section 2) bound.
+        """
+        if response not in (0, 1):
+            raise ValidationError(f"response must be 0 or 1, got {response}")
+        pi = check_probability(prior, "prior")
+        like_one = self._theta if response == 1 else 1.0 - self._theta
+        like_zero = 1.0 - self._theta if response == 1 else self._theta
+        numerator = like_one * pi
+        denominator = numerator + like_zero * (1.0 - pi)
+        if denominator == 0.0:
+            raise ValidationError(
+                "prior and scheme give the observed response zero probability"
+            )
+        return numerator / denominator
+
+    def __repr__(self) -> str:
+        return f"WarnerRandomizedResponse(theta={self._theta:g})"

@@ -1,0 +1,38 @@
+"""NDR — Noise-Distribution-based Reconstruction (Section 4.1).
+
+The naive guess: take the disguised value as the estimate, i.e. guess the
+noise was zero.  Its mean square error is exactly the noise variance
+(Section 4.1's derivation), making it the floor every smarter attack must
+beat and a direct read-out of the nominal privacy level ``sigma^2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.randomization.base import NoiseModel
+from repro.reconstruction.base import ReconstructionResult, Reconstructor
+
+__all__ = ["NoiseDistributionReconstructor"]
+
+
+class NoiseDistributionReconstructor(Reconstructor):
+    """Guess ``X_hat = Y`` (equivalently, guess the noise is zero).
+
+    For non-zero-mean noise the announced mean is subtracted, keeping the
+    estimator unbiased; for the paper's zero-mean schemes this is the
+    identity.
+    """
+
+    name = "NDR"
+
+    def _reconstruct(
+        self, disguised: np.ndarray, noise_model: NoiseModel
+    ) -> ReconstructionResult:
+        estimate = disguised - noise_model.mean
+        expected_mse = float(np.mean(np.diag(noise_model.covariance)))
+        return ReconstructionResult(
+            estimate=estimate,
+            method=self.name,
+            details={"expected_mse": expected_mse},
+        )

@@ -1,0 +1,134 @@
+"""Principal-component selection strategies for PCA-DR.
+
+Section 5.2.2, footnote 1: "There are a number of ways to select
+principal components.  We can fix the number of selected principal
+components; we can also fix the portion of the original information that
+we want to keep; we can also choose the dominant eigenvalues by finding
+the largest gap between the dominant eigenvalues and the non-dominant
+ones.  The last method is used in our experiments."
+
+All three strategies are implemented; :class:`LargestGapSelector` is the
+default, matching the paper.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.linalg.eigen import eigen_gap_split, spectrum_energy_fraction
+from repro.utils.validation import check_in_range, check_positive_int
+
+__all__ = [
+    "ComponentSelector",
+    "FixedCountSelector",
+    "EnergyFractionSelector",
+    "LargestGapSelector",
+]
+
+
+class ComponentSelector(abc.ABC):
+    """Strategy deciding how many leading eigen-directions to keep."""
+
+    @abc.abstractmethod
+    def select(self, eigenvalues: np.ndarray) -> int:
+        """Number of principal components ``p`` for the given spectrum.
+
+        ``eigenvalues`` are sorted descending; the return value must lie
+        in ``[1, len(eigenvalues)]``.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FixedCountSelector(ComponentSelector):
+    """Always keep a fixed number of components.
+
+    Useful for oracle experiments where the true number of principal
+    directions is known by construction (the synthetic spectra of
+    Section 7).
+
+    Parameters
+    ----------
+    count:
+        Number of components to keep; clamped to the spectrum length at
+        selection time.
+    """
+
+    def __init__(self, count: int):
+        self._count = check_positive_int(count, "count")
+
+    @property
+    def count(self) -> int:
+        """Requested component count."""
+        return self._count
+
+    def select(self, eigenvalues: np.ndarray) -> int:
+        m = int(np.asarray(eigenvalues).size)
+        if m < 1:
+            raise ValidationError("'eigenvalues' must be non-empty")
+        return min(self._count, m)
+
+    def __repr__(self) -> str:
+        return f"FixedCountSelector(count={self._count})"
+
+
+class EnergyFractionSelector(ComponentSelector):
+    """Keep the smallest prefix holding a target fraction of total variance.
+
+    The footnote's second option: "fix the portion of the original
+    information that we want to keep".
+
+    Parameters
+    ----------
+    fraction:
+        Energy fraction in ``(0, 1]``.
+    """
+
+    def __init__(self, fraction: float = 0.95):
+        self._fraction = check_in_range(
+            fraction, "fraction", low=0.0, high=1.0,
+            inclusive_low=False,
+        )
+
+    @property
+    def fraction(self) -> float:
+        """Target energy fraction."""
+        return self._fraction
+
+    def select(self, eigenvalues: np.ndarray) -> int:
+        return spectrum_energy_fraction(eigenvalues, self._fraction)
+
+    def __repr__(self) -> str:
+        return f"EnergyFractionSelector(fraction={self._fraction:g})"
+
+
+class LargestGapSelector(ComponentSelector):
+    """Split the spectrum at its largest consecutive gap (paper default).
+
+    Parameters
+    ----------
+    max_rank:
+        Optional upper bound on the returned ``p``; useful when the
+        adversary knows the data cannot have more than so many strong
+        directions.
+    """
+
+    def __init__(self, max_rank: int | None = None):
+        if max_rank is not None:
+            max_rank = check_positive_int(max_rank, "max_rank")
+        self._max_rank = max_rank
+
+    @property
+    def max_rank(self) -> int | None:
+        """Optional cap on the selected rank."""
+        return self._max_rank
+
+    def select(self, eigenvalues: np.ndarray) -> int:
+        return eigen_gap_split(eigenvalues, max_rank=self._max_rank)
+
+    def __repr__(self) -> str:
+        return f"LargestGapSelector(max_rank={self._max_rank})"

@@ -1,0 +1,116 @@
+"""Gaussian kernel density estimation.
+
+UDR needs the marginal density ``f_Y`` of the disguised data; the paper
+notes it "can be estimated from the samples" (Section 4.2).  A Gaussian
+KDE with Silverman's bandwidth is the standard non-parametric choice and
+doubles as a smooth alternative to :class:`~repro.stats.density.
+HistogramDensity` for the prior.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.stats.density import Density
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_in_range, check_vector
+
+__all__ = ["silverman_bandwidth", "GaussianKDE"]
+
+
+def silverman_bandwidth(samples) -> float:
+    """Silverman's rule-of-thumb bandwidth for a Gaussian kernel.
+
+    ``h = 0.9 * min(std, IQR / 1.34) * n^(-1/5)``; robust to moderate
+    non-normality and outliers via the IQR term.
+    """
+    data = check_vector(samples, "samples", min_length=2)
+    n = data.size
+    std = float(np.std(data, ddof=1))
+    q75, q25 = np.percentile(data, [75.0, 25.0])
+    iqr = float(q75 - q25)
+    spread_candidates = [s for s in (std, iqr / 1.34) if s > 0.0]
+    if not spread_candidates:
+        raise ValidationError(
+            "'samples' are all identical; bandwidth is undefined"
+        )
+    spread = min(spread_candidates)
+    return 0.9 * spread * n ** (-0.2)
+
+
+class GaussianKDE(Density):
+    """Gaussian kernel density estimate over a 1-D sample.
+
+    Parameters
+    ----------
+    samples:
+        Observed values, shape ``(n,)``.
+    bandwidth:
+        Kernel standard deviation; defaults to Silverman's rule.
+    """
+
+    def __init__(self, samples, bandwidth: float | None = None):
+        self._samples = check_vector(samples, "samples", min_length=2)
+        if bandwidth is None:
+            bandwidth = silverman_bandwidth(self._samples)
+        self._bandwidth = check_in_range(
+            bandwidth, "bandwidth", low=0.0, inclusive_low=False
+        )
+
+    @property
+    def bandwidth(self) -> float:
+        """Kernel standard deviation."""
+        return self._bandwidth
+
+    @property
+    def n_samples(self) -> int:
+        """Number of training samples."""
+        return int(self._samples.size)
+
+    def pdf(self, x) -> np.ndarray:
+        array = self._as_array(x)
+        flat = np.atleast_1d(array).ravel()
+        # Evaluate in blocks so an (n_eval, n_samples) matrix never gets
+        # too large for big experiments.
+        block = max(1, int(4_000_000 // max(self._samples.size, 1)))
+        out = np.empty(flat.size, dtype=np.float64)
+        norm = self._bandwidth * math.sqrt(2.0 * math.pi)
+        for start in range(0, flat.size, block):
+            stop = min(start + block, flat.size)
+            z = (
+                flat[start:stop, None] - self._samples[None, :]
+            ) / self._bandwidth
+            out[start:stop] = np.exp(-0.5 * z * z).mean(axis=1) / norm
+        return out.reshape(array.shape)
+
+    @property
+    def mean(self) -> float:
+        return float(self._samples.mean())
+
+    @property
+    def variance(self) -> float:
+        # Convolution with the kernel adds its variance.
+        return float(np.var(self._samples)) + self._bandwidth**2
+
+    def support(self, coverage: float = 0.9999) -> tuple[float, float]:
+        check_in_range(coverage, "coverage", low=0.0, high=1.0,
+                       inclusive_low=False)
+        pad = 4.0 * self._bandwidth
+        return (
+            float(self._samples.min()) - pad,
+            float(self._samples.max()) + pad,
+        )
+
+    def sample(self, size: int, rng=None) -> np.ndarray:
+        generator = as_generator(rng)
+        picks = generator.choice(self._samples, size=size, replace=True)
+        return picks + generator.normal(0.0, self._bandwidth, size=size)
+
+    def __repr__(self) -> str:
+        return (
+            f"GaussianKDE(n_samples={self.n_samples}, "
+            f"bandwidth={self._bandwidth:.4g})"
+        )

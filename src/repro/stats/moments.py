@@ -1,0 +1,62 @@
+"""Moment helpers shared by estimators and experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_matrix, check_vector
+
+__all__ = ["standardize", "weighted_mean_and_variance"]
+
+
+def standardize(data, *, ddof: int = 1) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Center and scale each column of a data matrix.
+
+    Returns ``(standardized, means, stds)`` so the transform can be
+    inverted with ``standardized * stds + means``.
+
+    Raises
+    ------
+    ValidationError
+        If any column is constant (zero standard deviation).
+    """
+    matrix = check_matrix(data, "data", min_rows=2)
+    means = matrix.mean(axis=0)
+    stds = matrix.std(axis=0, ddof=ddof)
+    if np.any(stds <= 0.0):
+        constant = np.flatnonzero(stds <= 0.0)
+        raise ValidationError(
+            f"columns {constant.tolist()} are constant; cannot standardize"
+        )
+    return (matrix - means) / stds, means, stds
+
+
+def weighted_mean_and_variance(values, weights) -> tuple[float, float]:
+    """Mean and variance of a discrete distribution over ``values``.
+
+    Used by UDR to turn a posterior over a grid into the posterior-mean
+    guess and its spread.
+
+    Parameters
+    ----------
+    values:
+        Support points, shape ``(k,)``.
+    weights:
+        Non-negative weights, shape ``(k,)``; normalized internally.
+    """
+    points = check_vector(values, "values")
+    raw = check_vector(weights, "weights")
+    if points.size != raw.size:
+        raise ValidationError(
+            f"values (len {points.size}) and weights (len {raw.size}) differ"
+        )
+    if np.any(raw < 0.0):
+        raise ValidationError("'weights' must be non-negative")
+    total = float(raw.sum())
+    if total <= 0.0:
+        raise ValidationError("'weights' must sum to a positive value")
+    probs = raw / total
+    mean = float(probs @ points)
+    variance = float(probs @ (points - mean) ** 2)
+    return mean, variance

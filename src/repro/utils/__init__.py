@@ -1,0 +1,26 @@
+"""Shared low-level utilities: argument validation and RNG plumbing."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_matrix,
+    check_positive_int,
+    check_probability,
+    check_square,
+    check_symmetric,
+    check_vector,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "check_finite",
+    "check_in_range",
+    "check_matrix",
+    "check_positive_int",
+    "check_probability",
+    "check_square",
+    "check_symmetric",
+    "check_vector",
+]

@@ -1,0 +1,71 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts an ``rng`` argument
+that may be ``None`` (fresh entropy), an integer seed, or an existing
+:class:`numpy.random.Generator`.  :func:`as_generator` normalizes all
+three to a ``Generator`` so downstream code never touches the legacy
+``numpy.random.RandomState`` API.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["as_generator", "spawn_generators"]
+
+
+
+def as_generator(rng=None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` for OS entropy, an ``int`` seed, a ``SeedSequence``, or an
+        existing ``Generator`` (returned unchanged so state is shared).
+
+    Returns
+    -------
+    numpy.random.Generator
+
+    Raises
+    ------
+    ValidationError
+        If ``rng`` is not one of the accepted types.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        if rng < 0:
+            raise ValidationError(f"seed must be non-negative, got {rng}")
+        return np.random.default_rng(int(rng))
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.default_rng(rng)
+    raise ValidationError(
+        "rng must be None, an int seed, a SeedSequence, or a Generator; "
+        f"got {type(rng).__name__}"
+    )
+
+
+def spawn_generators(rng, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    Uses ``Generator.spawn`` so the children are independent of each other
+    *and* of the parent's future output.  Useful when an experiment sweep
+    must produce the same per-point stream regardless of sweep order.
+
+    Parameters
+    ----------
+    rng:
+        Anything accepted by :func:`as_generator`.
+    count:
+        Number of children; must be positive.
+    """
+    if not isinstance(count, (int, np.integer)) or count <= 0:
+        raise ValidationError(f"count must be a positive int, got {count!r}")
+    parent = as_generator(rng)
+    return parent.spawn(int(count))

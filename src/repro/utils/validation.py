@@ -1,0 +1,158 @@
+"""Argument-validation helpers.
+
+These functions convert inputs to ``float64`` NumPy arrays and raise
+:class:`~repro.exceptions.ValidationError` subclasses with messages that
+name the offending argument, so failures surface at API boundaries instead
+of deep inside linear algebra.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError, ValidationError
+
+__all__ = [
+    "check_finite",
+    "check_in_range",
+    "check_matrix",
+    "check_positive_int",
+    "check_probability",
+    "check_square",
+    "check_symmetric",
+    "check_vector",
+]
+
+
+def check_finite(array: np.ndarray, name: str) -> np.ndarray:
+    """Raise if ``array`` contains NaN or infinity."""
+    if not np.all(np.isfinite(array)):
+        raise ValidationError(f"argument {name!r} contains NaN or infinite values")
+    return array
+
+
+def check_matrix(
+    data,
+    name: str = "data",
+    *,
+    min_rows: int = 1,
+    min_cols: int = 1,
+    allow_1d: bool = False,
+) -> np.ndarray:
+    """Coerce ``data`` to a 2-D ``float64`` array of shape ``(n, m)``.
+
+    Parameters
+    ----------
+    data:
+        Array-like input.
+    name:
+        Argument name used in error messages.
+    min_rows, min_cols:
+        Minimum acceptable dimensions.
+    allow_1d:
+        If true, a 1-D input of length ``k`` is promoted to shape ``(k, 1)``.
+    """
+    array = np.asarray(data, dtype=np.float64)
+    if array.ndim == 1 and allow_1d:
+        array = array.reshape(-1, 1)
+    if array.ndim != 2:
+        raise ShapeError(name, "a 2-D array", array.shape)
+    rows, cols = array.shape
+    if rows < min_rows:
+        raise ValidationError(
+            f"argument {name!r} needs at least {min_rows} rows, got {rows}"
+        )
+    if cols < min_cols:
+        raise ValidationError(
+            f"argument {name!r} needs at least {min_cols} columns, got {cols}"
+        )
+    return check_finite(array, name)
+
+
+def check_vector(data, name: str = "data", *, min_length: int = 1) -> np.ndarray:
+    """Coerce ``data`` to a 1-D ``float64`` array."""
+    array = np.asarray(data, dtype=np.float64)
+    if array.ndim == 0:
+        array = array.reshape(1)
+    if array.ndim != 1:
+        raise ShapeError(name, "a 1-D array", array.shape)
+    if array.size < min_length:
+        raise ValidationError(
+            f"argument {name!r} needs at least {min_length} elements, "
+            f"got {array.size}"
+        )
+    return check_finite(array, name)
+
+
+def check_square(data, name: str = "matrix") -> np.ndarray:
+    """Coerce ``data`` to a square 2-D ``float64`` array."""
+    array = check_matrix(data, name)
+    rows, cols = array.shape
+    if rows != cols:
+        raise ShapeError(name, "a square matrix", array.shape)
+    return array
+
+
+def check_symmetric(data, name: str = "matrix", *, atol: float = 1e-8) -> np.ndarray:
+    """Coerce to a square matrix and verify symmetry within ``atol``.
+
+    Returns the *symmetrized* matrix ``(A + A.T) / 2`` so tiny asymmetries
+    from floating-point accumulation do not propagate.
+    """
+    array = check_square(data, name)
+    if not np.allclose(array, array.T, atol=atol, rtol=0.0):
+        max_gap = float(np.max(np.abs(array - array.T)))
+        raise ValidationError(
+            f"argument {name!r} is not symmetric "
+            f"(max |A - A.T| = {max_gap:.3g}, tolerance {atol:.3g})"
+        )
+    return (array + array.T) / 2.0
+
+
+def check_positive_int(value, name: str, *, minimum: int = 1) -> int:
+    """Validate that ``value`` is an integer ``>= minimum``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(
+            f"argument {name!r} must be an int, got {type(value).__name__}"
+        )
+    value = int(value)
+    if value < minimum:
+        raise ValidationError(
+            f"argument {name!r} must be >= {minimum}, got {value}"
+        )
+    return value
+
+
+def check_in_range(
+    value,
+    name: str,
+    *,
+    low: float = -np.inf,
+    high: float = np.inf,
+    inclusive_low: bool = True,
+    inclusive_high: bool = True,
+) -> float:
+    """Validate that scalar ``value`` lies inside ``[low, high]``."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(
+            f"argument {name!r} must be a real number, got {value!r}"
+        ) from exc
+    if np.isnan(value):
+        raise ValidationError(f"argument {name!r} is NaN")
+    low_ok = value >= low if inclusive_low else value > low
+    high_ok = value <= high if inclusive_high else value < high
+    if not (low_ok and high_ok):
+        lo_br = "[" if inclusive_low else "("
+        hi_br = "]" if inclusive_high else ")"
+        raise ValidationError(
+            f"argument {name!r} must be in {lo_br}{low}, {high}{hi_br}, "
+            f"got {value}"
+        )
+    return value
+
+
+def check_probability(value, name: str) -> float:
+    """Validate that ``value`` is a probability in ``[0, 1]``."""
+    return check_in_range(value, name, low=0.0, high=1.0)

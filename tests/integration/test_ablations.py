@@ -1,0 +1,103 @@
+"""Integration tests for the ablation runners (DESIGN.md A2-A6)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    run_ablation_covariance,
+    run_ablation_marginals,
+    run_ablation_samplesize,
+    run_ablation_selection,
+    run_ablation_utility,
+)
+
+
+class TestSelectionAblation:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return run_ablation_selection(
+            n_attributes=30, n_records=800, seed=3
+        )
+
+    def test_two_level_rules_agree(self, series):
+        two_level = [series.curve(m)[0] for m in series.methods]
+        assert max(two_level) - min(two_level) < 0.1
+
+    def test_decaying_rules_diverge(self, series):
+        decaying = [series.curve(m)[1] for m in series.methods]
+        assert max(decaying) - min(decaying) > 0.05
+
+
+class TestCovarianceAblation:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return run_ablation_covariance(
+            sample_sizes=(100, 500, 2000),
+            n_attributes=20,
+            seed=5,
+        )
+
+    def test_oracle_never_meaningfully_worse(self, series):
+        for family in ("PCA", "BE"):
+            estimated = series.curve(f"{family}-estimated")
+            oracle = series.curve(f"{family}-oracle")
+            assert np.all(oracle <= estimated + 0.2)
+
+    def test_gap_closes_with_n(self, series):
+        gap_small = (
+            series.curve("BE-estimated")[0] - series.curve("BE-oracle")[0]
+        )
+        gap_large = (
+            series.curve("BE-estimated")[-1] - series.curve("BE-oracle")[-1]
+        )
+        assert gap_large < gap_small
+
+
+class TestSamplesizeAblation:
+    def test_attack_improves_then_saturates(self):
+        series = run_ablation_samplesize(
+            sample_sizes=(100, 500, 2000, 4000),
+            n_attributes=25,
+            seed=7,
+        )
+        be = series.curve("BE-DR")
+        assert be[-1] < be[0]
+        assert abs(be[-1] - be[-2]) < 0.15
+
+
+class TestUtilityAblation:
+    def test_corrected_training_tracks_oracle(self):
+        series = run_ablation_utility(
+            n_train=3000, n_test=1500, seed=1
+        )
+        original = series.curve("original")
+        corrected = series.curve("disguised_corrected")
+        assert np.all(corrected >= original - 0.05)
+        assert np.all(original > 0.85)
+
+
+class TestMarginalsAblation:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return run_ablation_marginals(
+            marginals=("normal", "lognormal", "bimodal"),
+            n_attributes=20,
+            n_records=1500,
+            seed=13,
+        )
+
+    def test_attack_still_beats_udr_on_normal(self, series):
+        assert series.curve("BE-DR")[0] < series.curve("UDR")[0] - 0.5
+
+    def test_bedr_survives_non_normal_marginals(self, series):
+        """BE-DR's edge shrinks but persists under misspecification."""
+        for index in range(series.x_values.size):
+            assert (
+                series.curve("BE-DR")[index]
+                < series.curve("UDR")[index]
+            ), series.metadata["marginals"][index]
+
+    def test_misspecification_costs_accuracy(self, series):
+        """Non-normal marginals must hurt relative to the normal case."""
+        be = series.curve("BE-DR")
+        assert min(be[1:]) > be[0]

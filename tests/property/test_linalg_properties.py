@@ -1,0 +1,139 @@
+"""Property-based tests for the linear-algebra substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.linalg.covariance import (
+    correlation_from_covariance,
+    sample_covariance,
+)
+from repro.linalg.eigen import eigen_gap_split, sorted_eigh
+from repro.linalg.gram_schmidt import gram_schmidt, random_orthogonal
+from repro.linalg.psd import is_positive_semidefinite, nearest_psd, psd_inverse
+
+# Bounded, finite float entries keep the numerics honest without
+# drifting into overflow territory.
+_entries = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+def _symmetric(matrix):
+    return (matrix + matrix.T) / 2.0
+
+
+@st.composite
+def symmetric_matrices(draw, min_dim=2, max_dim=6):
+    dim = draw(st.integers(min_value=min_dim, max_value=max_dim))
+    raw = draw(
+        arrays(np.float64, (dim, dim), elements=_entries)
+    )
+    return _symmetric(raw)
+
+
+@st.composite
+def spd_matrices(draw, min_dim=2, max_dim=6):
+    dim = draw(st.integers(min_value=min_dim, max_value=max_dim))
+    raw = draw(arrays(np.float64, (dim, dim), elements=_entries))
+    return raw @ raw.T + np.eye(dim)
+
+
+class TestGramSchmidtProperties:
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           dim=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=40, deadline=None)
+    def test_random_orthogonal_always_orthogonal(self, seed, dim):
+        q = random_orthogonal(dim, rng=seed)
+        np.testing.assert_allclose(q.T @ q, np.eye(dim), atol=1e-9)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           rows=st.integers(min_value=2, max_value=10),
+           cols=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_gram_schmidt_idempotent_on_orthonormal_input(
+        self, seed, rows, cols
+    ):
+        if cols > rows:
+            cols = rows
+        rng = np.random.default_rng(seed)
+        q = gram_schmidt(rng.standard_normal((rows, cols)))
+        again = gram_schmidt(q)
+        np.testing.assert_allclose(np.abs(again.T @ q), np.eye(cols),
+                                   atol=1e-8)
+
+
+class TestEigenProperties:
+    @given(matrix=spd_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_decomposition_reconstructs(self, matrix):
+        decomposition = sorted_eigh(matrix)
+        np.testing.assert_allclose(
+            decomposition.reconstruct(), matrix,
+            atol=1e-7 * max(1.0, np.abs(matrix).max()),
+        )
+
+    @given(matrix=symmetric_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_eigenvalue_sum_is_trace(self, matrix):
+        decomposition = sorted_eigh(matrix)
+        assert np.isclose(
+            decomposition.values.sum(), np.trace(matrix),
+            atol=1e-8 * max(1.0, np.abs(matrix).max()),
+        )
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1000.0),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gap_split_in_valid_range(self, values):
+        spectrum = np.sort(np.asarray(values))[::-1]
+        split = eigen_gap_split(spectrum)
+        assert 1 <= split <= spectrum.size
+
+
+class TestPsdProperties:
+    @given(matrix=symmetric_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_nearest_psd_always_psd(self, matrix):
+        assert is_positive_semidefinite(nearest_psd(matrix))
+
+    @given(matrix=symmetric_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_nearest_psd_idempotent(self, matrix):
+        once = nearest_psd(matrix)
+        twice = nearest_psd(once)
+        np.testing.assert_allclose(
+            once, twice, atol=1e-8 * max(1.0, np.abs(matrix).max())
+        )
+
+    @given(matrix=spd_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_psd_inverse_roundtrip(self, matrix):
+        inverse = psd_inverse(matrix)
+        np.testing.assert_allclose(
+            inverse @ matrix, np.eye(matrix.shape[0]), atol=1e-6
+        )
+
+
+class TestCovarianceProperties:
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           n=st.integers(min_value=5, max_value=60),
+           m=st.integers(min_value=2, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_sample_covariance_always_psd(self, seed, n, m):
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((n, m)) * rng.uniform(0.5, 5.0)
+        assert is_positive_semidefinite(sample_covariance(data))
+
+    @given(matrix=spd_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_correlation_entries_bounded(self, matrix):
+        corr = correlation_from_covariance(matrix)
+        assert np.abs(corr).max() <= 1.0 + 1e-12
+        np.testing.assert_allclose(np.diag(corr), 1.0)

@@ -1,0 +1,128 @@
+"""Property-based tests for the MASK mining and breach modules."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.breach import (
+    amplification_factor,
+    posterior_distribution,
+    worst_case_posterior,
+)
+from repro.mining.association import MaskScheme
+
+_theta = st.floats(min_value=0.55, max_value=0.99)
+
+
+class TestMaskProperties:
+    @given(
+        p=_theta,
+        k=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_channel_matrix_is_stochastic_and_symmetric(self, p, k):
+        channel = MaskScheme(p).channel_matrix(k)
+        np.testing.assert_allclose(channel.sum(axis=0), 1.0, atol=1e-12)
+        np.testing.assert_allclose(channel, channel.T, atol=1e-12)
+
+    @given(
+        p=_theta,
+        k=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_channel_inverse_exists(self, p, k):
+        """The channel determinant never vanishes for p != 0.5.
+
+        For the k-fold Kronecker power of a 2x2 matrix A,
+        det = det(A)^(k * 2^(k-1)) with det(A) = 2p - 1.
+        """
+        channel = MaskScheme(p).channel_matrix(k)
+        det = np.linalg.det(channel)
+        expected = (2 * p - 1) ** (k * 2 ** (k - 1))
+        assert det == np.linalg.det(channel)  # sanity: finite
+        assert abs(det - expected) < 1e-9 * max(1.0, abs(expected))
+        assert abs(det) > 0.0
+
+    @given(
+        p=_theta,
+        support=st.floats(min_value=0.05, max_value=0.95),
+        seed=st.integers(min_value=0, max_value=2000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_support_estimator_consistent(self, p, support, seed):
+        rng = np.random.default_rng(seed)
+        n = 30000
+        bits = (rng.random((n, 1)) < support).astype(np.int8)
+        scheme = MaskScheme(p)
+        disguised = scheme.disguise(bits, rng=seed + 1)
+        estimate = scheme.estimate_support(disguised, [0])
+        # Standard error of the inverted estimator.
+        se = np.sqrt(0.25 / n) / abs(2 * p - 1)
+        assert abs(estimate - support) < 5 * se + 0.01
+
+    @given(
+        p=_theta,
+        seed=st.integers(min_value=0, max_value=2000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_estimates_always_probabilities(self, p, seed):
+        rng = np.random.default_rng(seed)
+        baskets = (rng.random((40, 3)) < 0.5).astype(np.int8)
+        scheme = MaskScheme(p)
+        disguised = scheme.disguise(baskets, rng=seed)
+        for itemset in ([0], [1, 2], [0, 1, 2]):
+            estimate = scheme.estimate_support(disguised, itemset)
+            assert 0.0 <= estimate <= 1.0
+
+
+class TestBreachProperties:
+    @given(
+        theta=_theta,
+        prior_one=st.floats(min_value=0.01, max_value=0.99),
+        output=st.integers(min_value=0, max_value=1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_posterior_is_distribution(self, theta, prior_one, output):
+        channel = np.array(
+            [[theta, 1 - theta], [1 - theta, theta]]
+        )
+        posterior = posterior_distribution(
+            [1 - prior_one, prior_one], channel, output
+        )
+        assert np.all(posterior >= 0.0)
+        assert posterior.sum() == 1.0 or abs(posterior.sum() - 1.0) < 1e-12
+
+    @given(
+        theta=_theta,
+        prior_one=st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_worst_case_at_least_prior(self, theta, prior_one):
+        """Some output must not decrease belief below the prior (the
+        posterior averages back to the prior over outputs)."""
+        channel = np.array(
+            [[theta, 1 - theta], [1 - theta, theta]]
+        )
+        worst = worst_case_posterior(
+            [1 - prior_one, prior_one], channel, [1]
+        )
+        assert worst >= prior_one - 1e-12
+
+    @given(
+        theta=_theta,
+        prior_one=st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_posterior_bounded_by_amplification(self, theta, prior_one):
+        """Evfimievski's core inequality: posterior odds <= gamma * prior
+        odds."""
+        channel = np.array(
+            [[theta, 1 - theta], [1 - theta, theta]]
+        )
+        gamma = amplification_factor(channel)
+        worst = worst_case_posterior(
+            [1 - prior_one, prior_one], channel, [1]
+        )
+        prior_odds = prior_one / (1 - prior_one)
+        worst_odds = worst / max(1.0 - worst, 1e-300)
+        assert worst_odds <= gamma * prior_odds * (1 + 1e-9)

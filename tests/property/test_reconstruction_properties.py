@@ -1,0 +1,114 @@
+"""Property-based tests for reconstruction-attack invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.spectra import two_level_spectrum
+from repro.data.synthetic import generate_dataset
+from repro.metrics.error import root_mean_square_error
+from repro.randomization.additive import AdditiveNoiseScheme
+from repro.reconstruction.bedr import BayesEstimateReconstructor
+from repro.reconstruction.ndr import NoiseDistributionReconstructor
+from repro.reconstruction.pca_dr import PCAReconstructor
+from repro.reconstruction.selection import FixedCountSelector
+from repro.reconstruction.udr import UnivariateReconstructor
+
+
+def _make_case(seed, m, p, noise_std, n=400):
+    spectrum = two_level_spectrum(
+        m, p, total_variance=100.0 * m, non_principal_value=4.0
+    )
+    dataset = generate_dataset(spectrum=spectrum, n_records=n, rng=seed)
+    disguised = AdditiveNoiseScheme(std=noise_std).disguise(
+        dataset.values, rng=seed + 1
+    )
+    return dataset, disguised
+
+
+case_params = dict(
+    seed=st.integers(min_value=0, max_value=5000),
+    m=st.integers(min_value=4, max_value=16),
+    p=st.integers(min_value=1, max_value=4),
+    noise_std=st.floats(min_value=1.0, max_value=10.0),
+)
+
+
+class TestAttackInvariants:
+    @given(**case_params)
+    @settings(max_examples=20, deadline=None)
+    def test_bedr_never_much_worse_than_ndr(self, seed, m, p, noise_std):
+        """The Bayes estimate uses strictly more information than NDR."""
+        dataset, disguised = _make_case(seed, m, min(p, m), noise_std)
+        be = root_mean_square_error(
+            dataset.values,
+            BayesEstimateReconstructor().reconstruct(disguised),
+        )
+        ndr = root_mean_square_error(
+            dataset.values,
+            NoiseDistributionReconstructor().reconstruct(disguised),
+        )
+        assert be <= ndr * 1.05
+
+    @given(**case_params)
+    @settings(max_examples=20, deadline=None)
+    def test_udr_never_much_worse_than_ndr(self, seed, m, p, noise_std):
+        dataset, disguised = _make_case(seed, m, min(p, m), noise_std)
+        udr = root_mean_square_error(
+            dataset.values,
+            UnivariateReconstructor().reconstruct(disguised),
+        )
+        ndr = root_mean_square_error(
+            dataset.values,
+            NoiseDistributionReconstructor().reconstruct(disguised),
+        )
+        assert udr <= ndr * 1.05
+
+    @given(**case_params)
+    @settings(max_examples=20, deadline=None)
+    def test_estimates_are_finite(self, seed, m, p, noise_std):
+        _, disguised = _make_case(seed, m, min(p, m), noise_std)
+        for attack in (
+            NoiseDistributionReconstructor(),
+            UnivariateReconstructor(),
+            PCAReconstructor(),
+            BayesEstimateReconstructor(),
+        ):
+            estimate = attack.reconstruct(disguised).estimate
+            assert np.all(np.isfinite(estimate))
+            assert estimate.shape == disguised.disguised.shape
+
+    @given(**case_params)
+    @settings(max_examples=15, deadline=None)
+    def test_pca_error_monotone_in_undershoot(self, seed, m, p, noise_std):
+        """Keeping fewer components than the true rank discards signal:
+        p_true components must beat 1 component (when p_true > 1)."""
+        p = min(max(p, 2), m - 1)
+        dataset, disguised = _make_case(seed, m, p, noise_std)
+        rmse_true = root_mean_square_error(
+            dataset.values,
+            PCAReconstructor(FixedCountSelector(p)).reconstruct(disguised),
+        )
+        rmse_one = root_mean_square_error(
+            dataset.values,
+            PCAReconstructor(FixedCountSelector(1)).reconstruct(disguised),
+        )
+        assert rmse_true <= rmse_one * 1.05
+
+    @given(seed=st.integers(min_value=0, max_value=5000),
+           noise_std=st.floats(min_value=1.0, max_value=8.0))
+    @settings(max_examples=15, deadline=None)
+    def test_ndr_mse_equals_realized_noise_energy(self, seed, noise_std):
+        dataset, disguised = _make_case(seed, 6, 2, noise_std)
+        result = NoiseDistributionReconstructor().reconstruct(disguised)
+        mse = float(np.mean((dataset.values - result.estimate) ** 2))
+        noise_energy = float(np.mean(disguised.noise**2))
+        assert np.isclose(mse, noise_energy, rtol=1e-10)
+
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=10, deadline=None)
+    def test_reconstruction_deterministic(self, seed):
+        _, disguised = _make_case(seed, 8, 2, 5.0)
+        a = BayesEstimateReconstructor().reconstruct(disguised).estimate
+        b = BayesEstimateReconstructor().reconstruct(disguised).estimate
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,97 @@
+"""Unit tests for repro.randomization.additive.AdditiveNoiseScheme."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.randomization.additive import AdditiveNoiseScheme
+from repro.stats.density import GaussianDensity, UniformDensity
+
+
+class TestConstruction:
+    def test_properties(self):
+        scheme = AdditiveNoiseScheme(std=5.0)
+        assert scheme.std == 5.0
+        assert scheme.variance == 25.0
+        assert scheme.family == "gaussian"
+
+    def test_rejects_zero_std(self):
+        with pytest.raises(ValidationError):
+            AdditiveNoiseScheme(std=0.0)
+
+    def test_rejects_unknown_family(self):
+        with pytest.raises(ValidationError, match="family"):
+            AdditiveNoiseScheme(std=1.0, family="cauchy")
+
+
+class TestNoiseModel:
+    def test_isotropic_covariance(self):
+        model = AdditiveNoiseScheme(std=3.0).noise_model(4)
+        np.testing.assert_allclose(model.covariance, 9.0 * np.eye(4))
+        np.testing.assert_allclose(model.mean, np.zeros(4))
+        assert model.is_isotropic
+
+    def test_rejects_bad_attribute_count(self):
+        with pytest.raises(ValidationError):
+            AdditiveNoiseScheme(std=1.0).noise_model(0)
+
+
+class TestSampling:
+    def test_gaussian_moments(self):
+        noise = AdditiveNoiseScheme(std=2.0).sample_noise((50000, 3), rng=0)
+        assert noise.mean() == pytest.approx(0.0, abs=0.03)
+        assert noise.std() == pytest.approx(2.0, abs=0.03)
+
+    def test_uniform_moments_and_range(self):
+        scheme = AdditiveNoiseScheme(std=2.0, family="uniform")
+        noise = scheme.sample_noise((50000, 2), rng=1)
+        halfwidth = 2.0 * np.sqrt(3.0)
+        assert noise.min() >= -halfwidth and noise.max() <= halfwidth
+        assert noise.std() == pytest.approx(2.0, abs=0.03)
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(ValidationError):
+            AdditiveNoiseScheme(std=1.0).sample_noise((0, 3))
+
+
+class TestMarginalDensity:
+    def test_gaussian_density(self):
+        density = AdditiveNoiseScheme(std=4.0).marginal_density()
+        assert isinstance(density, GaussianDensity)
+        assert density.variance == pytest.approx(16.0)
+        assert density.mean == 0.0
+
+    def test_uniform_density_matches_variance(self):
+        density = AdditiveNoiseScheme(std=4.0, family="uniform").marginal_density()
+        assert isinstance(density, UniformDensity)
+        assert density.variance == pytest.approx(16.0)
+
+
+class TestDisguise:
+    def test_roundtrip_consistency(self):
+        rng = np.random.default_rng(0)
+        original = rng.normal(0.0, 10.0, size=(100, 4))
+        dataset = AdditiveNoiseScheme(std=5.0).disguise(original, rng=1)
+        np.testing.assert_array_equal(dataset.original, original)
+        np.testing.assert_allclose(
+            dataset.disguised - dataset.original, dataset.noise
+        )
+
+    def test_noise_statistics(self):
+        original = np.zeros((20000, 5))
+        dataset = AdditiveNoiseScheme(std=5.0).disguise(original, rng=2)
+        assert dataset.noise.std() == pytest.approx(5.0, abs=0.06)
+
+    def test_noise_independent_across_attributes(self):
+        original = np.zeros((30000, 4))
+        dataset = AdditiveNoiseScheme(std=5.0).disguise(original, rng=3)
+        corr = np.corrcoef(dataset.noise, rowvar=False)
+        off = corr[~np.eye(4, dtype=bool)]
+        assert np.abs(off).max() < 0.03
+
+    def test_deterministic_with_seed(self):
+        original = np.zeros((10, 2))
+        scheme = AdditiveNoiseScheme(std=1.0)
+        a = scheme.disguise(original, rng=7)
+        b = scheme.disguise(original, rng=7)
+        np.testing.assert_array_equal(a.disguised, b.disguised)

@@ -1,0 +1,102 @@
+"""Unit tests for the ASCII series plotter."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments.ascii_plot import plot_series
+from repro.experiments.config import ExperimentSeries
+
+
+def _series():
+    return ExperimentSeries(
+        name="demo",
+        x_label="m",
+        x_values=[0.0, 1.0, 2.0, 3.0],
+        series={
+            "flat": [4.0, 4.0, 4.0, 4.0],
+            "falling": [5.0, 4.0, 3.0, 2.0],
+        },
+    )
+
+
+class TestPlotSeries:
+    def test_contains_legend_and_title(self):
+        text = plot_series(_series())
+        assert "demo" in text
+        assert "* flat" in text
+        assert "o falling" in text
+
+    def test_dimensions_respected(self):
+        text = plot_series(_series(), width=40, height=10)
+        lines = text.splitlines()
+        canvas_rows = [line for line in lines if "|" in line]
+        assert len(canvas_rows) == 10
+
+    def test_y_axis_labels_bracket_data(self):
+        text = plot_series(_series())
+        labelled = [
+            line for line in text.splitlines()
+            if "|" in line and line.split("|")[0].strip()
+        ]
+        top = float(labelled[0].split("|")[0])
+        bottom = float(labelled[-1].split("|")[0])
+        # Padded axis must bracket the data range [2, 5].
+        assert top >= 5.0
+        assert bottom <= 2.0
+
+    def test_flat_curve_occupies_single_row(self):
+        series = ExperimentSeries(
+            name="flat-only",
+            x_label="x",
+            x_values=[0.0, 1.0, 2.0],
+            series={"flat": [4.0, 4.0, 4.0]},
+        )
+        text = plot_series(series)
+        rows_with_glyph = [
+            line for line in text.splitlines() if "*" in line and "|" in line
+        ]
+        assert len(rows_with_glyph) == 1
+
+    def test_monotone_curve_renders_monotone(self):
+        series = ExperimentSeries(
+            name="mono",
+            x_label="x",
+            x_values=np.arange(10.0),
+            series={"down": np.linspace(10.0, 0.0, 10)},
+        )
+        text = plot_series(series, width=40, height=12)
+        # First glyph column index per canvas row must increase downward.
+        columns = []
+        for line in text.splitlines():
+            if "|" in line and "*" in line:
+                columns.append(line.index("*"))
+        assert columns == sorted(columns)
+
+    def test_rejects_non_series(self):
+        with pytest.raises(ValidationError):
+            plot_series({"x": [1]})
+
+    def test_rejects_too_many_curves(self):
+        series = ExperimentSeries(
+            name="many",
+            x_label="x",
+            x_values=[0.0, 1.0],
+            series={f"c{i}": [1.0, 2.0] for i in range(9)},
+        )
+        with pytest.raises(ValidationError, match="more than"):
+            plot_series(series)
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValidationError):
+            plot_series(_series(), width=5)
+
+    def test_single_point_series(self):
+        series = ExperimentSeries(
+            name="one",
+            x_label="x",
+            x_values=[2.0],
+            series={"p": [3.0]},
+        )
+        text = plot_series(series)
+        assert "*" in text

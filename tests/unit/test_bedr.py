@@ -1,0 +1,162 @@
+"""Unit tests for BE-DR (Section 6, Theorem 8.1)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.linalg.psd import psd_inverse
+from repro.metrics.error import root_mean_square_error
+from repro.randomization.additive import AdditiveNoiseScheme
+from repro.randomization.correlated import CorrelatedNoiseScheme
+from repro.reconstruction.bedr import BayesEstimateReconstructor
+from repro.reconstruction.ndr import NoiseDistributionReconstructor
+from repro.reconstruction.pca_dr import PCAReconstructor
+
+from tests.conftest import NOISE_STD
+
+
+class TestEquation11:
+    def test_matches_equation_11_with_oracle_inputs(self, small_dataset):
+        """x_hat = (Sigma_x^-1 + I/sigma^2)^-1 (Sigma_x^-1 mu_x + y/sigma^2)."""
+        scheme = AdditiveNoiseScheme(std=NOISE_STD)
+        disguised = scheme.disguise(small_dataset.values, rng=0)
+        sigma_x = small_dataset.population_covariance
+        mu_x = np.zeros(small_dataset.n_attributes)
+        attack = BayesEstimateReconstructor(
+            oracle_covariance=sigma_x, oracle_mean=mu_x
+        )
+        result = attack.reconstruct(disguised)
+
+        precision = np.linalg.inv(sigma_x)
+        a = precision + np.eye(sigma_x.shape[0]) / NOISE_STD**2
+        a_inv = np.linalg.inv(a)
+        for i in [0, 17, 599]:
+            y = disguised.disguised[i]
+            expected = a_inv @ (precision @ mu_x + y / NOISE_STD**2)
+            np.testing.assert_allclose(result.estimate[i], expected, atol=1e-8)
+
+    def test_beats_pca_and_ndr_on_correlated_data(self, disguised_dataset):
+        original = disguised_dataset.original
+        be = root_mean_square_error(
+            original,
+            BayesEstimateReconstructor().reconstruct(disguised_dataset),
+        )
+        pca = root_mean_square_error(
+            original, PCAReconstructor().reconstruct(disguised_dataset)
+        )
+        ndr = root_mean_square_error(
+            original,
+            NoiseDistributionReconstructor().reconstruct(disguised_dataset),
+        )
+        assert be <= pca * 1.02  # BE at least ties PCA
+        assert be < ndr
+
+    def test_posterior_shrinks_toward_mean_for_weak_data(self, weak_disguised):
+        """With a flat, weak prior the estimate shrinks y toward the mean."""
+        result = BayesEstimateReconstructor().reconstruct(weak_disguised)
+        y = weak_disguised.disguised
+        column_means = y.mean(axis=0)
+        # Shrinkage: estimate strictly between the observation and mean.
+        gap_y = np.abs(result.estimate - y)
+        gap_mean = np.abs(result.estimate - column_means)
+        # On average the estimate moved off the observation toward mean.
+        assert gap_y.mean() > 0.1
+        assert (
+            np.abs(result.estimate - column_means).mean()
+            < np.abs(y - column_means).mean()
+        )
+
+    def test_estimated_covariance_close_to_truth(self, disguised_dataset,
+                                                 small_dataset):
+        result = BayesEstimateReconstructor().reconstruct(disguised_dataset)
+        estimated = result.details["estimated_covariance"]
+        truth = small_dataset.population_covariance
+        # Loose check: same scale, strongly correlated entries.
+        assert np.corrcoef(estimated.ravel(), truth.ravel())[0, 1] > 0.95
+
+    def test_expected_mse_matches_empirical_for_oracle(self, small_dataset):
+        """trace(A^-1)/m is the Bayes-optimal MSE with the true prior."""
+        scheme = AdditiveNoiseScheme(std=NOISE_STD)
+        disguised = scheme.disguise(small_dataset.values, rng=9)
+        attack = BayesEstimateReconstructor(
+            oracle_covariance=small_dataset.population_covariance,
+            oracle_mean=np.zeros(small_dataset.n_attributes),
+        )
+        result = attack.reconstruct(disguised)
+        empirical = float(
+            np.mean((result.estimate - small_dataset.values) ** 2)
+        )
+        assert empirical == pytest.approx(
+            result.details["expected_mse"], rel=0.1
+        )
+
+    def test_expected_mse_below_noise_variance(self, disguised_dataset):
+        """The Bayes estimate must promise (and deliver) less than NDR."""
+        result = BayesEstimateReconstructor().reconstruct(disguised_dataset)
+        assert result.details["expected_mse"] < NOISE_STD**2
+
+
+class TestTheorem81:
+    def test_matches_theorem_81_formula(self, small_dataset):
+        """Correlated noise: x_hat = (Sx^-1+Sr^-1)^-1 (Sx^-1 mu - Sr^-1 mu_r + Sr^-1 y)."""
+        sigma_x = small_dataset.population_covariance
+        m = sigma_x.shape[0]
+        scheme = CorrelatedNoiseScheme.matching_data_covariance(
+            sigma_x, noise_power=m * NOISE_STD**2
+        )
+        disguised = scheme.disguise(small_dataset.values, rng=1)
+        mu_x = np.zeros(m)
+        attack = BayesEstimateReconstructor(
+            oracle_covariance=sigma_x, oracle_mean=mu_x
+        )
+        result = attack.reconstruct(disguised)
+
+        sigma_r = scheme.covariance
+        px = psd_inverse(sigma_x)
+        pr = psd_inverse(sigma_r)
+        a_inv = psd_inverse(px + pr)
+        for i in [3, 100]:
+            y = disguised.disguised[i]
+            expected = a_inv @ (px @ mu_x + pr @ y)
+            np.testing.assert_allclose(
+                result.estimate[i], expected, atol=1e-6
+            )
+
+    def test_correlated_noise_hurts_attack(self, small_dataset):
+        """Section 8: similarity-matched noise must raise BE-DR's error."""
+        m = small_dataset.n_attributes
+        power = m * NOISE_STD**2
+        iid = AdditiveNoiseScheme(std=NOISE_STD)
+        matched = CorrelatedNoiseScheme.matching_data_covariance(
+            small_dataset.population_covariance, noise_power=power
+        )
+        attack = BayesEstimateReconstructor()
+        rmse_iid = root_mean_square_error(
+            small_dataset.values,
+            attack.reconstruct(iid.disguise(small_dataset.values, rng=2)),
+        )
+        rmse_matched = root_mean_square_error(
+            small_dataset.values,
+            attack.reconstruct(
+                matched.disguise(small_dataset.values, rng=2)
+            ),
+        )
+        assert rmse_matched > rmse_iid
+
+
+class TestValidation:
+    def test_oracle_covariance_dim_checked(self, disguised_dataset):
+        with pytest.raises(ValidationError):
+            BayesEstimateReconstructor(
+                oracle_covariance=np.eye(3)
+            ).reconstruct(disguised_dataset)
+
+    def test_oracle_mean_dim_checked(self, disguised_dataset):
+        with pytest.raises(ValidationError):
+            BayesEstimateReconstructor(
+                oracle_mean=np.zeros(2)
+            ).reconstruct(disguised_dataset)
+
+    def test_method_name(self, disguised_dataset):
+        result = BayesEstimateReconstructor().reconstruct(disguised_dataset)
+        assert result.method == "BE-DR"

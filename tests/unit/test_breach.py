@@ -1,0 +1,146 @@
+"""Unit tests for the Evfimievski-style privacy-breach metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.breach import (
+    amplification_factor,
+    amplification_prevents_breach,
+    breach_occurs,
+    posterior_distribution,
+    worst_case_posterior,
+)
+
+
+def warner_channel(theta: float) -> np.ndarray:
+    """Warner randomized response as a channel matrix P[y, x]."""
+    return np.array([[theta, 1.0 - theta], [1.0 - theta, theta]])
+
+
+class TestPosteriorDistribution:
+    def test_matches_warner_posterior(self):
+        channel = warner_channel(0.8)
+        posterior = posterior_distribution([0.5, 0.5], channel, output=1)
+        # P(x=1 | y=1) = 0.8 for a uniform prior.
+        assert posterior[1] == pytest.approx(0.8)
+        assert posterior.sum() == pytest.approx(1.0)
+
+    def test_identity_channel_is_certain(self):
+        posterior = posterior_distribution(
+            [0.3, 0.7], np.eye(2), output=0
+        )
+        np.testing.assert_allclose(posterior, [1.0, 0.0])
+
+    def test_uninformative_channel_returns_prior(self):
+        channel = np.full((2, 2), 0.5)
+        posterior = posterior_distribution([0.2, 0.8], channel, output=1)
+        np.testing.assert_allclose(posterior, [0.2, 0.8])
+
+    def test_rejects_non_stochastic_channel(self):
+        with pytest.raises(ValidationError, match="sum to 1"):
+            posterior_distribution([0.5, 0.5], [[0.5, 0.5], [0.2, 0.5]], 0)
+
+    def test_rejects_bad_prior(self):
+        with pytest.raises(ValidationError, match="prior"):
+            posterior_distribution([0.5, 0.2], warner_channel(0.8), 0)
+
+    def test_rejects_impossible_output(self):
+        channel = np.array([[1.0, 1.0], [0.0, 0.0]])
+        with pytest.raises(ValidationError, match="zero probability"):
+            posterior_distribution([0.5, 0.5], channel, output=1)
+
+
+class TestWorstCasePosterior:
+    def test_warner_uniform_prior(self):
+        worst = worst_case_posterior(
+            [0.5, 0.5], warner_channel(0.9), property_inputs=[1]
+        )
+        assert worst == pytest.approx(0.9)
+
+    def test_skewed_prior_amplifies(self):
+        # Rare property (prior 0.1) under a strong channel.
+        worst = worst_case_posterior(
+            [0.9, 0.1], warner_channel(0.9), property_inputs=[1]
+        )
+        expected = 0.9 * 0.1 / (0.9 * 0.1 + 0.1 * 0.9)
+        assert worst == pytest.approx(expected)
+
+    def test_property_of_multiple_values(self):
+        channel = np.eye(3)
+        worst = worst_case_posterior(
+            [1 / 3] * 3, channel, property_inputs=[0, 1]
+        )
+        assert worst == pytest.approx(1.0)
+
+
+class TestBreachOccurs:
+    def test_identity_channel_always_breaches(self):
+        assert breach_occurs(
+            [0.9, 0.1], np.eye(2), [1], rho1=0.2, rho2=0.8
+        )
+
+    def test_uninformative_channel_never_breaches(self):
+        channel = np.full((2, 2), 0.5)
+        assert not breach_occurs(
+            [0.9, 0.1], channel, [1], rho1=0.2, rho2=0.8
+        )
+
+    def test_no_breach_when_prior_exceeds_rho1(self):
+        # Property already likely: not a rho1-to-rho2 breach by definition.
+        assert not breach_occurs(
+            [0.5, 0.5], np.eye(2), [1], rho1=0.2, rho2=0.8
+        )
+
+    def test_rejects_rho2_below_rho1(self):
+        with pytest.raises(ValidationError):
+            breach_occurs(
+                [0.5, 0.5], warner_channel(0.8), [1], rho1=0.8, rho2=0.2
+            )
+
+
+class TestAmplification:
+    def test_warner_amplification(self):
+        # gamma = theta / (1 - theta).
+        assert amplification_factor(warner_channel(0.8)) == pytest.approx(
+            4.0
+        )
+
+    def test_uninformative_channel_has_gamma_one(self):
+        assert amplification_factor(np.full((2, 2), 0.5)) == 1.0
+
+    def test_identity_channel_unbounded(self):
+        assert amplification_factor(np.eye(2)) == float("inf")
+
+    def test_bound_blocks_breach(self):
+        """The sufficient condition must be... sufficient."""
+        theta = 0.7  # gamma = 7/3
+        channel = warner_channel(theta)
+        rho1, rho2 = 0.3, 0.9
+        # odds ratio = (0.9/0.1)/(0.3/0.7) = 21 > 7/3: no breach possible.
+        assert amplification_prevents_breach(channel, rho1=rho1, rho2=rho2)
+        # Verify empirically over a grid of priors for the property {1}.
+        for prior_one in np.linspace(0.01, rho1, 15):
+            assert not breach_occurs(
+                [1 - prior_one, prior_one], channel, [1],
+                rho1=rho1, rho2=rho2,
+            )
+
+    def test_bound_is_tight_enough_to_fail_sometimes(self):
+        theta = 0.95  # gamma = 19
+        channel = warner_channel(theta)
+        rho1, rho2 = 0.3, 0.65
+        # odds ratio = (0.65/0.35)/(0.3/0.7) ~ 4.33 < 19: condition fails...
+        assert not amplification_prevents_breach(
+            channel, rho1=rho1, rho2=rho2
+        )
+        # ...and an actual breach exists at prior = rho1.
+        assert breach_occurs(
+            [0.7, 0.3], channel, [1], rho1=rho1, rho2=rho2
+        )
+
+    def test_rejects_degenerate_rhos(self):
+        with pytest.raises(ValidationError):
+            amplification_prevents_breach(
+                warner_channel(0.8), rho1=0.0, rho2=0.5
+            )

@@ -1,0 +1,85 @@
+"""Unit tests for repro.data.census."""
+
+import numpy as np
+import pytest
+
+from repro.data.census import CensusLikeGenerator
+from repro.linalg.covariance import correlation_from_covariance
+from repro.linalg.psd import is_positive_semidefinite
+
+
+class TestCensusLikeGenerator:
+    def test_schema(self):
+        generator = CensusLikeGenerator()
+        assert generator.n_attributes == 10
+        assert "income" in generator.column_names
+        assert "systolic_bp" in generator.column_names
+
+    def test_sample_shape_and_names(self):
+        table = CensusLikeGenerator().sample(100, rng=0)
+        assert table.values.shape == (100, 10)
+        assert table.n_records == 100
+        assert table.column_names == CensusLikeGenerator().column_names
+
+    def test_population_covariance_is_psd(self):
+        assert is_positive_semidefinite(
+            CensusLikeGenerator().population_covariance
+        )
+
+    def test_sample_moments_match_population(self):
+        generator = CensusLikeGenerator()
+        table = generator.sample(100000, rng=1)
+        np.testing.assert_allclose(
+            table.values.mean(axis=0),
+            generator.population_mean,
+            rtol=0.05,
+            atol=0.5,
+        )
+        sample_cov = np.cov(table.values, rowvar=False)
+        np.testing.assert_allclose(
+            sample_cov,
+            generator.population_covariance,
+            rtol=0.3,
+            atol=15.0,
+        )
+
+    def test_attributes_strongly_correlated(self):
+        # The whole point of the generator: a correlated table.
+        corr = correlation_from_covariance(
+            CensusLikeGenerator().population_covariance
+        )
+        off = corr[~np.eye(10, dtype=bool)]
+        assert np.abs(off).max() > 0.7
+
+    def test_latent_structure_gives_low_rank_spectrum(self):
+        # Three latent factors -> the top three eigenvalues dominate.
+        eigenvalues = np.sort(
+            np.linalg.eigvalsh(CensusLikeGenerator().population_covariance)
+        )[::-1]
+        assert eigenvalues[:3].sum() > 0.9 * eigenvalues.sum()
+
+    def test_column_accessor(self):
+        table = CensusLikeGenerator().sample(50, rng=2)
+        np.testing.assert_array_equal(
+            table.column("age"), table.values[:, 0]
+        )
+        with pytest.raises(KeyError):
+            table.column("missing")
+
+    def test_scale_preserves_correlations(self):
+        base = CensusLikeGenerator()
+        scaled = CensusLikeGenerator(scale=3.0)
+        np.testing.assert_allclose(
+            correlation_from_covariance(base.population_covariance),
+            correlation_from_covariance(scaled.population_covariance),
+            atol=1e-9,
+        )
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            CensusLikeGenerator(scale=0.0)
+
+    def test_deterministic_given_seed(self):
+        a = CensusLikeGenerator().sample(20, rng=5)
+        b = CensusLikeGenerator().sample(20, rng=5)
+        np.testing.assert_array_equal(a.values, b.values)

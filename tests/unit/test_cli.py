@@ -1,0 +1,72 @@
+"""Unit tests for the repro CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_defaults(self):
+        args = build_parser().parse_args(["figure1"])
+        assert args.experiment == "figure1"
+        assert args.records == 2000
+        assert args.trials == 1
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["figure3", "--records", "500", "--trials", "2", "--seed", "9"]
+        )
+        assert args.records == 500
+        assert args.trials == 2
+        assert args.seed == 9
+
+    def test_theorem52_subcommand(self):
+        args = build_parser().parse_args(["theorem52"])
+        assert args.experiment == "theorem52"
+
+    def test_ablation_subcommands_exist(self):
+        for name in (
+            "ablation-selection",
+            "ablation-covariance",
+            "ablation-samplesize",
+            "ablation-utility",
+            "ablation-marginals",
+        ):
+            args = build_parser().parse_args([name])
+            assert args.experiment == name
+
+    def test_plot_flag(self):
+        args = build_parser().parse_args(["figure1", "--plot"])
+        assert args.plot is True
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure9"])
+
+
+class TestMain:
+    def test_theorem52_prints_table(self, capsys):
+        assert main(["theorem52"]) == 0
+        out = capsys.readouterr().out
+        assert "empirical" in out and "analytic" in out
+
+    def test_figure1_small_run(self, capsys):
+        code = main(
+            ["figure1", "--records", "200", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BE-DR" in out and "UDR" in out
+        assert "number of attributes" in out
+
+    def test_plot_flag_draws_chart(self, capsys):
+        code = main(
+            ["figure1", "--records", "200", "--seed", "1", "--plot"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out

@@ -1,0 +1,86 @@
+"""Unit tests for repro.randomization.correlated.CorrelatedNoiseScheme."""
+
+import numpy as np
+import pytest
+
+from repro.data.covariance_builder import CovarianceModel
+from repro.exceptions import ValidationError
+from repro.metrics.dissimilarity import correlation_dissimilarity
+from repro.randomization.correlated import CorrelatedNoiseScheme
+
+
+def _data_covariance():
+    return CovarianceModel.from_spectrum([50.0, 20.0, 5.0, 1.0], rng=0).matrix
+
+
+class TestConstruction:
+    def test_total_power_is_trace(self):
+        scheme = CorrelatedNoiseScheme(np.diag([1.0, 2.0, 3.0]))
+        assert scheme.total_power == pytest.approx(6.0)
+
+    def test_rejects_indefinite_covariance(self):
+        indefinite = np.array([[1.0, 2.0], [2.0, 1.0]])
+        with pytest.raises(ValidationError, match="positive semidefinite"):
+            CorrelatedNoiseScheme(indefinite)
+
+    def test_matching_data_covariance_scales_to_power(self):
+        cov = _data_covariance()
+        scheme = CorrelatedNoiseScheme.matching_data_covariance(
+            cov, noise_power=10.0
+        )
+        assert scheme.total_power == pytest.approx(10.0)
+        # Proportional covariance keeps correlations identical.
+        assert correlation_dissimilarity(
+            cov, scheme.covariance, inputs="covariance"
+        ) == pytest.approx(0.0, abs=1e-12)
+
+    def test_matching_rejects_bad_power(self):
+        with pytest.raises(ValidationError):
+            CorrelatedNoiseScheme.matching_data_covariance(
+                _data_covariance(), noise_power=0.0
+            )
+
+
+class TestSampling:
+    def test_sample_covariance_matches(self):
+        cov = _data_covariance()
+        scheme = CorrelatedNoiseScheme(cov)
+        noise = scheme.sample_noise((60000, 4), rng=1)
+        np.testing.assert_allclose(
+            np.cov(noise, rowvar=False), cov, atol=0.8
+        )
+
+    def test_zero_mean(self):
+        scheme = CorrelatedNoiseScheme(_data_covariance())
+        noise = scheme.sample_noise((60000, 4), rng=2)
+        np.testing.assert_allclose(noise.mean(axis=0), np.zeros(4), atol=0.1)
+
+    def test_shape_attribute_mismatch_rejected(self):
+        scheme = CorrelatedNoiseScheme(np.eye(3))
+        with pytest.raises(ValidationError, match="attributes"):
+            scheme.sample_noise((10, 4))
+
+    def test_noise_model_dim_checked(self):
+        scheme = CorrelatedNoiseScheme(np.eye(3))
+        with pytest.raises(ValidationError):
+            scheme.noise_model(4)
+        model = scheme.noise_model(3)
+        np.testing.assert_array_equal(model.covariance, np.eye(3))
+
+    def test_disguise_produces_consistent_dataset(self):
+        rng = np.random.default_rng(3)
+        original = rng.normal(size=(500, 4))
+        scheme = CorrelatedNoiseScheme(_data_covariance())
+        dataset = scheme.disguise(original, rng=4)
+        np.testing.assert_allclose(
+            dataset.disguised, dataset.original + dataset.noise
+        )
+        assert not dataset.noise_model.is_isotropic
+
+    def test_singular_covariance_sampling_works(self):
+        # Rank-deficient noise (all power on one direction) must sample.
+        cov = np.outer([1.0, 1.0], [1.0, 1.0])
+        scheme = CorrelatedNoiseScheme(cov)
+        noise = scheme.sample_noise((1000, 2), rng=5)
+        # Both columns equal (up to jitter) by construction.
+        np.testing.assert_allclose(noise[:, 0], noise[:, 1], atol=1e-3)

@@ -1,0 +1,136 @@
+"""Unit tests for repro.data.covariance_builder.CovarianceModel."""
+
+import numpy as np
+import pytest
+
+from repro.data.covariance_builder import CovarianceModel
+from repro.exceptions import SpectrumError, ValidationError
+from repro.linalg.psd import is_positive_semidefinite
+
+
+class TestFromSpectrum:
+    def test_matrix_has_requested_spectrum(self):
+        spectrum = [50.0, 20.0, 5.0, 1.0]
+        model = CovarianceModel.from_spectrum(spectrum, rng=0)
+        eigenvalues = np.sort(np.linalg.eigvalsh(model.matrix))[::-1]
+        np.testing.assert_allclose(eigenvalues, spectrum, atol=1e-9)
+
+    def test_matrix_is_psd_and_symmetric(self):
+        model = CovarianceModel.from_spectrum([10.0, 5.0, 1.0], rng=1)
+        matrix = model.matrix
+        np.testing.assert_array_equal(matrix, matrix.T)
+        assert is_positive_semidefinite(matrix)
+
+    def test_trace_equals_eigenvalue_sum(self):
+        # Eq. 12 of the paper.
+        model = CovarianceModel.from_spectrum([7.0, 2.0, 1.0], rng=2)
+        assert np.trace(model.matrix) == pytest.approx(model.trace)
+        assert model.trace == pytest.approx(10.0)
+
+    def test_unsorted_spectrum_is_sorted(self):
+        model = CovarianceModel.from_spectrum([1.0, 9.0, 4.0], rng=3)
+        np.testing.assert_allclose(model.eigenvalues, [9.0, 4.0, 1.0])
+
+    def test_deterministic_given_seed(self):
+        a = CovarianceModel.from_spectrum([3.0, 1.0], rng=5)
+        b = CovarianceModel.from_spectrum([3.0, 1.0], rng=5)
+        np.testing.assert_array_equal(a.matrix, b.matrix)
+
+    def test_different_seeds_give_different_bases(self):
+        a = CovarianceModel.from_spectrum([3.0, 1.0], rng=5)
+        b = CovarianceModel.from_spectrum([3.0, 1.0], rng=6)
+        assert not np.allclose(a.matrix, b.matrix)
+
+
+class TestFromMatrix:
+    def test_roundtrip(self):
+        original = CovarianceModel.from_spectrum([8.0, 3.0, 0.5], rng=0)
+        recovered = CovarianceModel.from_matrix(original.matrix)
+        np.testing.assert_allclose(
+            recovered.eigenvalues, original.eigenvalues, atol=1e-9
+        )
+        np.testing.assert_allclose(recovered.matrix, original.matrix, atol=1e-9)
+
+    def test_negative_eigenvalues_clipped(self):
+        indefinite = np.array([[1.0, 2.0], [2.0, 1.0]])  # eigenvalues 3, -1
+        model = CovarianceModel.from_matrix(indefinite)
+        assert model.eigenvalues.min() >= 0.0
+
+
+class TestValidation:
+    def test_rejects_negative_eigenvalues(self):
+        with pytest.raises(SpectrumError):
+            CovarianceModel(
+                eigenvalues=np.array([1.0, -1.0]),
+                eigenvectors=np.eye(2),
+            )
+
+    def test_rejects_unsorted_eigenvalues(self):
+        with pytest.raises(SpectrumError):
+            CovarianceModel(
+                eigenvalues=np.array([1.0, 2.0]),
+                eigenvectors=np.eye(2),
+            )
+
+    def test_rejects_non_orthonormal_vectors(self):
+        with pytest.raises(ValidationError, match="orthonormal"):
+            CovarianceModel(
+                eigenvalues=np.array([2.0, 1.0]),
+                eigenvectors=np.array([[1.0, 1.0], [0.0, 1.0]]),
+            )
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            CovarianceModel(
+                eigenvalues=np.array([2.0, 1.0]),
+                eigenvectors=np.eye(3),
+            )
+
+
+class TestDerivedModels:
+    def test_with_spectrum_keeps_covariance_eigenvectors(self):
+        base = CovarianceModel.from_spectrum([10.0, 5.0, 1.0], rng=0)
+        modified = base.with_spectrum([4.0, 3.0, 2.0])
+        np.testing.assert_allclose(modified.eigenvalues, [4.0, 3.0, 2.0])
+        # Eigenvector k still pairs with the k-th new eigenvalue: the new
+        # matrix must diagonalize in the same basis.
+        q = base.eigenvectors
+        diagonal = q.T @ modified.matrix @ q
+        np.testing.assert_allclose(
+            np.diag(diagonal), [4.0, 3.0, 2.0], atol=1e-9
+        )
+        np.testing.assert_allclose(
+            diagonal - np.diag(np.diag(diagonal)),
+            np.zeros((3, 3)),
+            atol=1e-9,
+        )
+
+    def test_with_spectrum_reversed_assigns_largest_to_last(self):
+        # Section 8.2's reversed profile: the noise's biggest eigenvalue
+        # sits on the data's *least* principal eigenvector.
+        base = CovarianceModel.from_spectrum([9.0, 4.0, 1.0], rng=1)
+        reversed_model = base.with_spectrum([1.0, 4.0, 9.0])
+        last_vector = base.eigenvectors[:, 2]
+        product = reversed_model.matrix @ last_vector
+        np.testing.assert_allclose(product, 9.0 * last_vector, atol=1e-9)
+
+    def test_with_spectrum_length_mismatch(self):
+        base = CovarianceModel.from_spectrum([2.0, 1.0], rng=0)
+        with pytest.raises(ValidationError):
+            base.with_spectrum([1.0, 2.0, 3.0])
+
+    def test_scaled(self):
+        base = CovarianceModel.from_spectrum([2.0, 1.0], rng=0)
+        doubled = base.scaled(2.0)
+        np.testing.assert_allclose(doubled.matrix, 2.0 * base.matrix)
+
+    def test_scaled_rejects_nonpositive(self):
+        base = CovarianceModel.from_spectrum([2.0, 1.0], rng=0)
+        with pytest.raises(ValidationError):
+            base.scaled(0.0)
+
+    def test_matrix_is_cached_copy(self):
+        model = CovarianceModel.from_spectrum([2.0, 1.0], rng=0)
+        first = model.matrix
+        first[0, 0] = 999.0
+        assert model.matrix[0, 0] != 999.0

@@ -1,0 +1,204 @@
+"""Unit tests for repro.stats.density."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.stats.density import (
+    GaussianDensity,
+    GaussianMixtureDensity,
+    HistogramDensity,
+    LaplaceDensity,
+    UniformDensity,
+)
+
+
+def _integrate(density, lo, hi, n=20001):
+    grid = np.linspace(lo, hi, n)
+    return float(np.trapezoid(density.pdf(grid), grid))
+
+
+class TestGaussianDensity:
+    def test_pdf_peak_at_mean(self):
+        density = GaussianDensity(2.0, 1.5)
+        assert density.pdf(2.0) == pytest.approx(
+            1.0 / (1.5 * np.sqrt(2 * np.pi))
+        )
+
+    def test_integrates_to_one(self):
+        density = GaussianDensity(0.0, 2.0)
+        assert _integrate(density, -20, 20) == pytest.approx(1.0, abs=1e-6)
+
+    def test_moments(self):
+        density = GaussianDensity(-1.0, 3.0)
+        assert density.mean == -1.0
+        assert density.variance == 9.0
+        assert density.std == 3.0
+
+    def test_support_covers_samples(self):
+        density = GaussianDensity(5.0, 2.0)
+        lo, hi = density.support(0.999)
+        samples = density.sample(2000, rng=0)
+        assert np.mean((samples >= lo) & (samples <= hi)) > 0.99
+
+    def test_sample_moments(self):
+        samples = GaussianDensity(3.0, 2.0).sample(50000, rng=1)
+        assert samples.mean() == pytest.approx(3.0, abs=0.05)
+        assert samples.std() == pytest.approx(2.0, abs=0.05)
+
+    def test_rejects_nonpositive_std(self):
+        with pytest.raises(ValidationError):
+            GaussianDensity(0.0, 0.0)
+
+
+class TestUniformDensity:
+    def test_pdf_inside_and_outside(self):
+        density = UniformDensity(-2.0, 2.0)
+        assert density.pdf(0.0) == pytest.approx(0.25)
+        assert density.pdf(3.0) == 0.0
+        assert density.pdf(-2.0) == pytest.approx(0.25)
+
+    def test_moments(self):
+        density = UniformDensity(0.0, 6.0)
+        assert density.mean == 3.0
+        assert density.variance == pytest.approx(3.0)
+
+    def test_support_is_exact(self):
+        assert UniformDensity(1.0, 4.0).support() == (1.0, 4.0)
+
+    def test_sample_range(self):
+        samples = UniformDensity(-1.0, 1.0).sample(1000, rng=2)
+        assert samples.min() >= -1.0 and samples.max() <= 1.0
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValidationError):
+            UniformDensity(2.0, 1.0)
+
+
+class TestLaplaceDensity:
+    def test_pdf_at_mean(self):
+        density = LaplaceDensity(0.0, 2.0)
+        assert density.pdf(0.0) == pytest.approx(0.25)
+
+    def test_variance_is_two_scale_squared(self):
+        assert LaplaceDensity(0.0, 3.0).variance == 18.0
+
+    def test_integrates_to_one(self):
+        assert _integrate(LaplaceDensity(0.0, 1.0), -30, 30) == pytest.approx(
+            1.0, abs=1e-6
+        )
+
+    def test_support_mass(self):
+        density = LaplaceDensity(0.0, 1.0)
+        lo, hi = density.support(0.999)
+        assert _integrate(density, lo, hi) >= 0.999 - 1e-6
+
+
+class TestGaussianMixtureDensity:
+    def _bimodal(self):
+        return GaussianMixtureDensity(
+            weights=[0.4, 0.6], means=[-3.0, 2.0], stds=[1.0, 0.5]
+        )
+
+    def test_weights_normalized(self):
+        mixture = GaussianMixtureDensity([2.0, 2.0], [0.0, 1.0], [1.0, 1.0])
+        np.testing.assert_allclose(mixture.weights, [0.5, 0.5])
+
+    def test_mean_is_weighted(self):
+        assert self._bimodal().mean == pytest.approx(0.4 * -3.0 + 0.6 * 2.0)
+
+    def test_variance_formula(self):
+        mixture = self._bimodal()
+        second = 0.4 * (1.0 + 9.0) + 0.6 * (0.25 + 4.0)
+        assert mixture.variance == pytest.approx(second - mixture.mean**2)
+
+    def test_pdf_integrates_to_one(self):
+        assert _integrate(self._bimodal(), -20, 20) == pytest.approx(
+            1.0, abs=1e-6
+        )
+
+    def test_pdf_scalar_and_array_shapes(self):
+        mixture = self._bimodal()
+        assert np.ndim(mixture.pdf(0.0)) == 0
+        assert mixture.pdf(np.zeros((3, 2))).shape == (3, 2)
+
+    def test_samples_cover_both_modes(self):
+        samples = self._bimodal().sample(5000, rng=0)
+        assert np.mean(samples < -1.0) > 0.25
+        assert np.mean(samples > 0.5) > 0.4
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            GaussianMixtureDensity([1.0], [0.0, 1.0], [1.0, 1.0])
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValidationError):
+            GaussianMixtureDensity([-1.0, 2.0], [0.0, 1.0], [1.0, 1.0])
+
+    def test_rejects_zero_total_weight(self):
+        with pytest.raises(ValidationError):
+            GaussianMixtureDensity([0.0, 0.0], [0.0, 1.0], [1.0, 1.0])
+
+    def test_rejects_nonpositive_std(self):
+        with pytest.raises(ValidationError):
+            GaussianMixtureDensity([1.0, 1.0], [0.0, 1.0], [1.0, 0.0])
+
+
+class TestHistogramDensity:
+    def _simple(self):
+        return HistogramDensity(
+            edges=[0.0, 1.0, 2.0, 4.0], probabilities=[0.2, 0.3, 0.5]
+        )
+
+    def test_pdf_values(self):
+        density = self._simple()
+        assert density.pdf(0.5) == pytest.approx(0.2)
+        assert density.pdf(1.5) == pytest.approx(0.3)
+        assert density.pdf(3.0) == pytest.approx(0.25)  # 0.5 / width 2
+        assert density.pdf(-1.0) == 0.0
+        assert density.pdf(5.0) == 0.0
+
+    def test_last_edge_belongs_to_last_bin(self):
+        assert self._simple().pdf(4.0) == pytest.approx(0.25)
+
+    def test_integrates_to_one(self):
+        assert _integrate(self._simple(), -1, 5) == pytest.approx(
+            1.0, abs=1e-3
+        )
+
+    def test_mean(self):
+        density = self._simple()
+        expected = 0.2 * 0.5 + 0.3 * 1.5 + 0.5 * 3.0
+        assert density.mean == pytest.approx(expected)
+
+    def test_variance_positive_and_sensible(self):
+        density = self._simple()
+        samples = density.sample(200000, rng=0)
+        assert density.variance == pytest.approx(samples.var(), rel=0.05)
+
+    def test_from_samples_roundtrip(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(0.0, 1.0, size=5000)
+        density = HistogramDensity.from_samples(samples, bins=40)
+        assert density.mean == pytest.approx(0.0, abs=0.1)
+        assert density.variance == pytest.approx(1.0, abs=0.15)
+
+    def test_probabilities_normalized(self):
+        density = HistogramDensity([0.0, 1.0, 2.0], [2.0, 6.0])
+        np.testing.assert_allclose(density.probabilities, [0.25, 0.75])
+
+    def test_rejects_non_increasing_edges(self):
+        with pytest.raises(ValidationError):
+            HistogramDensity([0.0, 0.0, 1.0], [0.5, 0.5])
+
+    def test_rejects_wrong_probability_count(self):
+        with pytest.raises(ValidationError):
+            HistogramDensity([0.0, 1.0, 2.0], [1.0])
+
+    def test_rejects_negative_probability(self):
+        with pytest.raises(ValidationError):
+            HistogramDensity([0.0, 1.0, 2.0], [-0.5, 1.5])
+
+    def test_sample_within_support(self):
+        samples = self._simple().sample(1000, rng=3)
+        assert samples.min() >= 0.0 and samples.max() <= 4.0

@@ -1,0 +1,98 @@
+"""Unit tests for Definition 8.1's correlation dissimilarity."""
+
+import numpy as np
+import pytest
+
+from repro.data.covariance_builder import CovarianceModel
+from repro.exceptions import ValidationError
+from repro.metrics.dissimilarity import correlation_dissimilarity
+
+
+class TestCovarianceInputs:
+    def test_identical_correlations_give_zero(self):
+        cov = CovarianceModel.from_spectrum([10.0, 4.0, 1.0], rng=0).matrix
+        assert correlation_dissimilarity(
+            cov, 3.0 * cov, inputs="covariance"
+        ) == pytest.approx(0.0, abs=1e-12)
+
+    def test_known_two_by_two_value(self):
+        # C_X has rho = 0.8, C_R has rho = 0.2: RMS of off-diagonal
+        # differences = sqrt(2 * 0.6^2 / 2) = 0.6.
+        cov_x = np.array([[1.0, 0.8], [0.8, 1.0]])
+        cov_r = np.array([[1.0, 0.2], [0.2, 1.0]])
+        assert correlation_dissimilarity(
+            cov_x, cov_r, inputs="covariance"
+        ) == pytest.approx(0.6)
+
+    def test_literal_convention_divides_by_pairs(self):
+        cov_x = np.array([[1.0, 0.8], [0.8, 1.0]])
+        cov_r = np.array([[1.0, 0.2], [0.2, 1.0]])
+        # literal: sqrt(2 * 0.36) / (4 - 2) = sqrt(0.72) / 2
+        expected = np.sqrt(0.72) / 2.0
+        assert correlation_dissimilarity(
+            cov_x, cov_r, inputs="covariance", convention="literal"
+        ) == pytest.approx(expected)
+
+    def test_symmetry_in_arguments(self):
+        a = CovarianceModel.from_spectrum([5.0, 2.0, 1.0], rng=1).matrix
+        b = CovarianceModel.from_spectrum([5.0, 2.0, 1.0], rng=2).matrix
+        assert correlation_dissimilarity(
+            a, b, inputs="covariance"
+        ) == pytest.approx(
+            correlation_dissimilarity(b, a, inputs="covariance")
+        )
+
+    def test_diagonal_ignored(self):
+        # Same off-diagonals, wildly different variances: dissimilarity 0.
+        cov_x = np.array([[1.0, 0.5], [0.5, 1.0]])
+        cov_r = np.array([[100.0, 50.0], [50.0, 100.0]])
+        assert correlation_dissimilarity(
+            cov_x, cov_r, inputs="covariance"
+        ) == pytest.approx(0.0, abs=1e-12)
+
+    def test_bounded_by_two(self):
+        # Perfectly opposite correlations: difference 2 per pair, RMS 2.
+        cov_x = np.array([[1.0, 0.999999], [0.999999, 1.0]])
+        cov_r = np.array([[1.0, -0.999999], [-0.999999, 1.0]])
+        value = correlation_dissimilarity(cov_x, cov_r, inputs="covariance")
+        assert value == pytest.approx(2.0, abs=1e-4)
+
+
+class TestDataInputs:
+    def test_data_mode_estimates_correlations(self):
+        rng = np.random.default_rng(3)
+        base = rng.standard_normal((20000, 1))
+        x = np.column_stack([base[:, 0], base[:, 0] * 2.0 + 0.01 * rng.standard_normal(20000)])
+        r = rng.standard_normal((20000, 2))
+        # X near-perfectly correlated, R independent: expect ~1.
+        value = correlation_dissimilarity(x, r, inputs="data")
+        assert value == pytest.approx(1.0, abs=0.05)
+
+    def test_same_data_gives_zero(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((100, 3))
+        assert correlation_dissimilarity(x, x) == pytest.approx(0.0)
+
+
+class TestValidation:
+    def test_rejects_unknown_convention(self):
+        with pytest.raises(ValidationError, match="convention"):
+            correlation_dissimilarity(
+                np.eye(2), np.eye(2), convention="L1", inputs="covariance"
+            )
+
+    def test_rejects_unknown_inputs(self):
+        with pytest.raises(ValidationError, match="inputs"):
+            correlation_dissimilarity(np.eye(2), np.eye(2), inputs="corr")
+
+    def test_rejects_dim_mismatch(self):
+        with pytest.raises(ValidationError, match="mismatch"):
+            correlation_dissimilarity(
+                np.eye(2), np.eye(3), inputs="covariance"
+            )
+
+    def test_rejects_single_attribute(self):
+        with pytest.raises(ValidationError, match="at least 2"):
+            correlation_dissimilarity(
+                np.eye(1), np.eye(1), inputs="covariance"
+            )

@@ -1,0 +1,139 @@
+"""Unit tests for repro.linalg.eigen."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.linalg.eigen import (
+    EigenDecomposition,
+    eigen_gap_split,
+    sorted_eigh,
+    spectrum_energy_fraction,
+)
+
+
+def _example_matrix():
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((6, 6))
+    return a @ a.T + np.eye(6)
+
+
+class TestSortedEigh:
+    def test_eigenvalues_descending(self):
+        decomposition = sorted_eigh(_example_matrix())
+        assert np.all(np.diff(decomposition.values) <= 1e-12)
+
+    def test_eigenpairs_satisfy_definition(self):
+        matrix = _example_matrix()
+        decomposition = sorted_eigh(matrix)
+        for k in range(matrix.shape[0]):
+            vector = decomposition.vectors[:, k]
+            np.testing.assert_allclose(
+                matrix @ vector,
+                decomposition.values[k] * vector,
+                atol=1e-9,
+            )
+
+    def test_vectors_orthonormal(self):
+        decomposition = sorted_eigh(_example_matrix())
+        gram = decomposition.vectors.T @ decomposition.vectors
+        np.testing.assert_allclose(gram, np.eye(6), atol=1e-10)
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValidationError):
+            sorted_eigh([[1.0, 2.0], [0.0, 1.0]])
+
+
+class TestEigenDecomposition:
+    def test_full_reconstruct_matches(self):
+        matrix = _example_matrix()
+        decomposition = sorted_eigh(matrix)
+        np.testing.assert_allclose(
+            decomposition.reconstruct(), matrix, atol=1e-9
+        )
+
+    def test_truncated_reconstruct_is_best_low_rank(self):
+        matrix = _example_matrix()
+        decomposition = sorted_eigh(matrix)
+        rank2 = decomposition.reconstruct(rank=2)
+        # Residual energy equals the sum of squared dropped eigenvalues.
+        residual = np.linalg.norm(matrix - rank2, "fro") ** 2
+        expected = float(np.sum(decomposition.values[2:] ** 2))
+        assert residual == pytest.approx(expected, rel=1e-9)
+
+    def test_projector_is_idempotent(self):
+        decomposition = sorted_eigh(_example_matrix())
+        projector = decomposition.projector(3)
+        np.testing.assert_allclose(projector @ projector, projector, atol=1e-10)
+        assert np.trace(projector) == pytest.approx(3.0, abs=1e-9)
+
+    def test_projector_rank_bounds(self):
+        decomposition = sorted_eigh(_example_matrix())
+        with pytest.raises(ValidationError):
+            decomposition.projector(0)
+        with pytest.raises(ValidationError):
+            decomposition.projector(7)
+
+    def test_reconstruct_rank_bounds(self):
+        decomposition = sorted_eigh(_example_matrix())
+        with pytest.raises(ValidationError):
+            decomposition.reconstruct(rank=0)
+
+    def test_dim(self):
+        assert sorted_eigh(_example_matrix()).dim == 6
+
+
+class TestEigenGapSplit:
+    def test_two_level_spectrum_finds_true_split(self):
+        values = np.array([400.0, 400.0, 400.0, 4.0, 4.0, 4.0, 4.0])
+        assert eigen_gap_split(values) == 3
+
+    def test_flat_spectrum_keeps_everything(self):
+        # Zero-sentinel rule: no interior gap beats the drop to zero.
+        values = np.full(8, 100.0)
+        assert eigen_gap_split(values) == 8
+
+    def test_single_value(self):
+        assert eigen_gap_split([5.0]) == 1
+
+    def test_max_rank_caps_selection(self):
+        values = np.array([100.0, 90.0, 1.0, 0.5])
+        assert eigen_gap_split(values) == 2
+        assert eigen_gap_split(values, max_rank=1) == 1
+
+    def test_rejects_ascending_input(self):
+        with pytest.raises(ValidationError, match="descending"):
+            eigen_gap_split([1.0, 2.0, 3.0])
+
+    def test_rejects_bad_max_rank(self):
+        with pytest.raises(ValidationError):
+            eigen_gap_split([3.0, 2.0], max_rank=0)
+
+    def test_decaying_spectrum_splits_at_biggest_drop(self):
+        values = np.array([100.0, 60.0, 59.0, 58.0, 5.0, 4.0])
+        assert eigen_gap_split(values) == 4
+
+
+class TestSpectrumEnergyFraction:
+    def test_half_energy(self):
+        values = np.array([50.0, 30.0, 20.0])
+        assert spectrum_energy_fraction(values, 0.5) == 1
+        assert spectrum_energy_fraction(values, 0.8) == 2
+        assert spectrum_energy_fraction(values, 1.0) == 3
+
+    def test_tiny_fraction_keeps_one(self):
+        assert spectrum_energy_fraction([10.0, 1.0], 0.01) == 1
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValidationError):
+            spectrum_energy_fraction([1.0], 0.0)
+        with pytest.raises(ValidationError):
+            spectrum_energy_fraction([1.0], 1.5)
+
+    def test_rejects_zero_energy(self):
+        with pytest.raises(ValidationError):
+            spectrum_energy_fraction([0.0, 0.0], 0.5)
+
+    def test_negative_values_clipped(self):
+        # Slightly negative estimates behave as zero energy.
+        assert spectrum_energy_fraction([10.0, -0.5], 0.99) == 1

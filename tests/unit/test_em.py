@@ -1,0 +1,87 @@
+"""Unit tests for repro.stats.em.UnivariateGaussianMixtureEM."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError, ValidationError
+from repro.stats.density import GaussianMixtureDensity
+from repro.stats.em import UnivariateGaussianMixtureEM
+
+
+def _bimodal_samples(n=4000, seed=0):
+    rng = np.random.default_rng(seed)
+    left = rng.normal(-4.0, 1.0, n // 2)
+    right = rng.normal(3.0, 0.5, n // 2)
+    return np.concatenate([left, right])
+
+
+class TestFit:
+    def test_returns_mixture_density(self):
+        fit = UnivariateGaussianMixtureEM(2).fit(_bimodal_samples(), rng=1)
+        assert isinstance(fit, GaussianMixtureDensity)
+        assert fit.n_components == 2
+
+    def test_recovers_bimodal_structure(self):
+        fit = UnivariateGaussianMixtureEM(2).fit(_bimodal_samples(), rng=1)
+        means = np.sort(fit.means)
+        assert means[0] == pytest.approx(-4.0, abs=0.3)
+        assert means[1] == pytest.approx(3.0, abs=0.3)
+        np.testing.assert_allclose(fit.weights, [0.5, 0.5], atol=0.05)
+
+    def test_single_component_matches_moments(self):
+        rng = np.random.default_rng(2)
+        samples = rng.normal(5.0, 2.0, 3000)
+        fit = UnivariateGaussianMixtureEM(1).fit(samples, rng=3)
+        assert fit.means[0] == pytest.approx(5.0, abs=0.15)
+        assert fit.stds[0] == pytest.approx(2.0, abs=0.15)
+
+    def test_likelihood_never_decreases(self):
+        samples = _bimodal_samples(800, seed=5)
+        em = UnivariateGaussianMixtureEM(2, max_iter=50, tol=1e-12)
+        weights, means, stds = em._initialize(
+            samples, np.random.default_rng(0)
+        )
+        previous = -np.inf
+        for _ in range(25):
+            responsibilities, log_likelihood = em._e_step(
+                samples, weights, means, stds
+            )
+            assert log_likelihood >= previous - 1e-9
+            previous = log_likelihood
+            weights, means, stds = em._m_step(samples, responsibilities)
+
+    def test_variance_floor_respected(self):
+        # Two identical points invite variance collapse.
+        samples = np.array([0.0, 0.0, 0.0, 10.0, 10.0, 10.0])
+        fit = UnivariateGaussianMixtureEM(2, min_std=0.5).fit(samples, rng=0)
+        assert np.all(fit.stds >= 0.5 - 1e-12)
+
+    def test_convergence_error_on_tiny_budget(self):
+        with pytest.raises(ConvergenceError):
+            UnivariateGaussianMixtureEM(2, max_iter=1, tol=1e-300).fit(
+                _bimodal_samples(500, seed=7), rng=0
+            )
+
+    def test_deterministic_given_seed(self):
+        samples = _bimodal_samples(600, seed=8)
+        a = UnivariateGaussianMixtureEM(2).fit(samples, rng=4)
+        b = UnivariateGaussianMixtureEM(2).fit(samples, rng=4)
+        np.testing.assert_allclose(a.means, b.means)
+
+    def test_needs_enough_samples(self):
+        with pytest.raises(ValidationError):
+            UnivariateGaussianMixtureEM(3).fit([1.0, 2.0])
+
+
+class TestValidation:
+    def test_rejects_zero_components(self):
+        with pytest.raises(ValidationError):
+            UnivariateGaussianMixtureEM(0)
+
+    def test_rejects_bad_tol(self):
+        with pytest.raises(ValidationError):
+            UnivariateGaussianMixtureEM(2, tol=0.0)
+
+    def test_rejects_bad_min_std(self):
+        with pytest.raises(ValidationError):
+            UnivariateGaussianMixtureEM(2, min_std=-1.0)

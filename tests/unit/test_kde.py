@@ -1,0 +1,85 @@
+"""Unit tests for repro.stats.kde."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.stats.kde import GaussianKDE, silverman_bandwidth
+
+
+class TestSilvermanBandwidth:
+    def test_scales_with_spread(self):
+        rng = np.random.default_rng(0)
+        narrow = rng.normal(0.0, 1.0, 500)
+        wide = narrow * 10.0
+        assert silverman_bandwidth(wide) == pytest.approx(
+            10.0 * silverman_bandwidth(narrow), rel=1e-9
+        )
+
+    def test_shrinks_with_sample_size(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(0.0, 1.0, 10000)
+        small = silverman_bandwidth(samples[:100])
+        large = silverman_bandwidth(samples)
+        assert large < small
+
+    def test_constant_samples_rejected(self):
+        with pytest.raises(ValidationError, match="identical"):
+            silverman_bandwidth(np.ones(50))
+
+    def test_outlier_robustness_uses_iqr(self):
+        rng = np.random.default_rng(2)
+        clean = rng.normal(0.0, 1.0, 1000)
+        contaminated = np.concatenate([clean, [1000.0, -1000.0]])
+        # IQR keeps the bandwidth sane despite the huge std.
+        assert silverman_bandwidth(contaminated) < 2.0
+
+
+class TestGaussianKDE:
+    def test_pdf_integrates_to_one(self):
+        rng = np.random.default_rng(0)
+        kde = GaussianKDE(rng.normal(0.0, 1.0, 400))
+        grid = np.linspace(-8, 8, 4001)
+        assert np.trapezoid(kde.pdf(grid), grid) == pytest.approx(
+            1.0, abs=1e-4
+        )
+
+    def test_recovers_normal_density(self):
+        rng = np.random.default_rng(1)
+        kde = GaussianKDE(rng.normal(0.0, 1.0, 5000))
+        grid = np.linspace(-2, 2, 9)
+        truth = np.exp(-0.5 * grid**2) / np.sqrt(2 * np.pi)
+        np.testing.assert_allclose(kde.pdf(grid), truth, atol=0.03)
+
+    def test_mean_matches_samples(self):
+        samples = np.array([1.0, 2.0, 3.0, 4.0])
+        assert GaussianKDE(samples).mean == pytest.approx(2.5)
+
+    def test_variance_adds_kernel_variance(self):
+        samples = np.array([0.0, 2.0, 4.0, 6.0])
+        kde = GaussianKDE(samples, bandwidth=1.5)
+        assert kde.variance == pytest.approx(np.var(samples) + 2.25)
+
+    def test_support_contains_samples(self):
+        samples = np.array([-3.0, 0.0, 5.0])
+        lo, hi = GaussianKDE(samples, bandwidth=1.0).support()
+        assert lo < -3.0 and hi > 5.0
+
+    def test_sampling_tracks_training_distribution(self):
+        rng = np.random.default_rng(3)
+        training = rng.normal(10.0, 2.0, 2000)
+        kde = GaussianKDE(training)
+        drawn = kde.sample(5000, rng=4)
+        assert drawn.mean() == pytest.approx(10.0, abs=0.2)
+
+    def test_scalar_input_shape(self):
+        kde = GaussianKDE(np.array([0.0, 1.0]), bandwidth=1.0)
+        assert np.ndim(kde.pdf(0.5)) == 0
+
+    def test_explicit_bandwidth_validated(self):
+        with pytest.raises(ValidationError):
+            GaussianKDE(np.array([0.0, 1.0]), bandwidth=0.0)
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValidationError):
+            GaussianKDE(np.array([1.0]))

@@ -1,0 +1,108 @@
+"""Unit tests for the gradient-ascent MAP reconstructor."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.error import root_mean_square_error
+from repro.randomization.additive import AdditiveNoiseScheme
+from repro.reconstruction.map_gd import MAPGradientReconstructor
+from repro.reconstruction.udr import UnivariateReconstructor
+from repro.stats.density import (
+    GaussianDensity,
+    GaussianMixtureDensity,
+    LaplaceDensity,
+)
+
+
+class TestGaussianPriorSanity:
+    def test_matches_closed_form_map(self):
+        """With a Gaussian prior the MAP equals the posterior mean."""
+        rng = np.random.default_rng(0)
+        prior = GaussianDensity(0.0, 8.0)
+        original = prior.sample(300, rng=1).reshape(-1, 1)
+        disguised = AdditiveNoiseScheme(std=4.0).disguise(original, rng=2)
+        attack = MAPGradientReconstructor([prior], max_iter=200)
+        result = attack.reconstruct(disguised)
+        shrinkage = 64.0 / (64.0 + 16.0)
+        expected = shrinkage * disguised.disguised
+        np.testing.assert_allclose(result.estimate, expected, atol=0.05)
+
+
+class TestMixturePrior:
+    def _bimodal_case(self, seed=3):
+        prior = GaussianMixtureDensity(
+            weights=[0.5, 0.5], means=[-12.0, 12.0], stds=[1.0, 1.0]
+        )
+        rng_seed = seed
+        original = prior.sample(2000, rng=rng_seed).reshape(-1, 1)
+        disguised = AdditiveNoiseScheme(std=4.0).disguise(
+            original, rng=seed + 1
+        )
+        return prior, original, disguised
+
+    def test_beats_moment_matched_udr(self):
+        prior, original, disguised = self._bimodal_case()
+        map_attack = MAPGradientReconstructor([prior])
+        udr = UnivariateReconstructor(prior="gaussian")
+        rmse_map = root_mean_square_error(
+            original, map_attack.reconstruct(disguised)
+        )
+        rmse_udr = root_mean_square_error(
+            original, udr.reconstruct(disguised)
+        )
+        assert rmse_map < rmse_udr
+
+    def test_estimates_land_near_modes(self):
+        prior, original, disguised = self._bimodal_case(seed=7)
+        result = MAPGradientReconstructor([prior]).reconstruct(disguised)
+        distance_to_modes = np.minimum(
+            np.abs(result.estimate + 12.0), np.abs(result.estimate - 12.0)
+        )
+        # MAP with a sharp bimodal prior snaps most points near a mode.
+        assert np.quantile(distance_to_modes, 0.9) < 3.0
+
+    def test_mode_assignment_mostly_correct(self):
+        prior, original, disguised = self._bimodal_case(seed=11)
+        result = MAPGradientReconstructor([prior]).reconstruct(disguised)
+        original_sign = np.sign(original)
+        estimate_sign = np.sign(result.estimate)
+        agreement = float(np.mean(original_sign == estimate_sign))
+        assert agreement > 0.95
+
+
+class TestGenericPriorFallback:
+    def test_laplace_prior_uses_finite_differences(self):
+        prior = LaplaceDensity(0.0, 3.0)
+        original = prior.sample(500, rng=13).reshape(-1, 1)
+        disguised = AdditiveNoiseScheme(std=2.0).disguise(original, rng=14)
+        attack = MAPGradientReconstructor([prior], max_iter=150)
+        result = attack.reconstruct(disguised)
+        # Laplace MAP is soft-thresholding-like shrinkage toward 0: the
+        # estimate magnitude never exceeds the observation's.
+        shrunk = np.abs(result.estimate) <= np.abs(disguised.disguised) + 1e-6
+        assert np.mean(shrunk) > 0.95
+
+
+class TestValidation:
+    def test_prior_count_checked(self, disguised_dataset):
+        attack = MAPGradientReconstructor([GaussianDensity(0.0, 1.0)])
+        with pytest.raises(ValidationError, match="priors"):
+            attack.reconstruct(disguised_dataset)
+
+    def test_rejects_non_density_priors(self):
+        with pytest.raises(ValidationError):
+            MAPGradientReconstructor(["not-a-density"])
+
+    def test_rejects_bad_step_scale(self):
+        with pytest.raises(ValidationError):
+            MAPGradientReconstructor(
+                [GaussianDensity(0.0, 1.0)], step_scale=0.0
+            )
+
+    def test_method_name(self):
+        prior = GaussianDensity(0.0, 5.0)
+        original = prior.sample(50, rng=15).reshape(-1, 1)
+        disguised = AdditiveNoiseScheme(std=1.0).disguise(original, rng=16)
+        result = MAPGradientReconstructor([prior]).reconstruct(disguised)
+        assert result.method == "MAP-GD"

@@ -1,0 +1,72 @@
+"""Unit tests for repro.metrics.error."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.error import (
+    mean_square_error,
+    per_attribute_rmse,
+    root_mean_square_error,
+)
+from repro.reconstruction.base import ReconstructionResult
+
+
+class TestMeanSquareError:
+    def test_zero_for_identical(self):
+        data = np.arange(12.0).reshape(4, 3)
+        assert mean_square_error(data, data) == 0.0
+
+    def test_known_value(self):
+        original = np.zeros((2, 2))
+        estimate = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert mean_square_error(original, estimate) == 1.0
+
+    def test_accepts_reconstruction_result(self):
+        original = np.zeros((2, 2))
+        result = ReconstructionResult(
+            estimate=np.full((2, 2), 2.0), method="X"
+        )
+        assert mean_square_error(original, result) == 4.0
+
+    def test_accepts_1d_columns(self):
+        assert mean_square_error([0.0, 0.0], [3.0, 4.0]) == 12.5
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="shape"):
+            mean_square_error(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestRootMeanSquareError:
+    def test_is_sqrt_of_mse(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(10, 4))
+        b = rng.normal(size=(10, 4))
+        assert root_mean_square_error(a, b) == pytest.approx(
+            np.sqrt(mean_square_error(a, b))
+        )
+
+    def test_scale_equivariance(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(20, 3))
+        b = rng.normal(size=(20, 3))
+        assert root_mean_square_error(2 * a, 2 * b) == pytest.approx(
+            2 * root_mean_square_error(a, b)
+        )
+
+
+class TestPerAttributeRmse:
+    def test_per_column_values(self):
+        original = np.zeros((4, 2))
+        estimate = np.column_stack([np.full(4, 1.0), np.full(4, 3.0)])
+        np.testing.assert_allclose(
+            per_attribute_rmse(original, estimate), [1.0, 3.0]
+        )
+
+    def test_aggregates_to_overall_rmse(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(50, 5))
+        b = rng.normal(size=(50, 5))
+        per_attr = per_attribute_rmse(a, b)
+        overall = root_mean_square_error(a, b)
+        assert np.sqrt(np.mean(per_attr**2)) == pytest.approx(overall)

@@ -1,0 +1,66 @@
+"""Unit tests for repro.stats.moments."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.stats.moments import standardize, weighted_mean_and_variance
+
+
+class TestStandardize:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 3.0, size=(100, 4))
+        standardized, means, stds = standardize(data)
+        np.testing.assert_allclose(
+            standardized * stds + means, data, atol=1e-12
+        )
+
+    def test_result_has_unit_moments(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(-2.0, 7.0, size=(500, 3))
+        standardized, _, _ = standardize(data)
+        np.testing.assert_allclose(
+            standardized.mean(axis=0), np.zeros(3), atol=1e-12
+        )
+        np.testing.assert_allclose(
+            standardized.std(axis=0, ddof=1), np.ones(3), atol=1e-12
+        )
+
+    def test_constant_column_rejected(self):
+        data = np.column_stack([np.arange(10.0), np.ones(10)])
+        with pytest.raises(ValidationError, match="constant"):
+            standardize(data)
+
+
+class TestWeightedMeanAndVariance:
+    def test_uniform_weights(self):
+        mean, variance = weighted_mean_and_variance(
+            [1.0, 2.0, 3.0], [1.0, 1.0, 1.0]
+        )
+        assert mean == pytest.approx(2.0)
+        assert variance == pytest.approx(2.0 / 3.0)
+
+    def test_point_mass(self):
+        mean, variance = weighted_mean_and_variance(
+            [1.0, 2.0, 3.0], [0.0, 1.0, 0.0]
+        )
+        assert mean == 2.0
+        assert variance == 0.0
+
+    def test_unnormalized_weights_ok(self):
+        a = weighted_mean_and_variance([0.0, 10.0], [1.0, 3.0])
+        b = weighted_mean_and_variance([0.0, 10.0], [0.25, 0.75])
+        assert a == pytest.approx(b)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            weighted_mean_and_variance([1.0, 2.0], [1.0])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValidationError):
+            weighted_mean_and_variance([1.0, 2.0], [1.0, -1.0])
+
+    def test_zero_total_weight_rejected(self):
+        with pytest.raises(ValidationError):
+            weighted_mean_and_variance([1.0, 2.0], [0.0, 0.0])

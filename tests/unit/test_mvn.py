@@ -1,0 +1,165 @@
+"""Unit tests for repro.stats.mvn.MultivariateNormal."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.stats.mvn import MultivariateNormal
+
+
+def _example():
+    mean = np.array([1.0, -2.0, 0.5])
+    cov = np.array(
+        [
+            [4.0, 1.0, 0.5],
+            [1.0, 3.0, -0.2],
+            [0.5, -0.2, 2.0],
+        ]
+    )
+    return MultivariateNormal(mean, cov)
+
+
+class TestConstruction:
+    def test_properties(self):
+        model = _example()
+        assert model.dim == 3
+        np.testing.assert_allclose(model.mean, [1.0, -2.0, 0.5])
+
+    def test_rejects_mismatched_sizes(self):
+        with pytest.raises(ValidationError):
+            MultivariateNormal([0.0, 0.0], np.eye(3))
+
+    def test_standard_factory(self):
+        model = MultivariateNormal.standard(4)
+        np.testing.assert_allclose(model.covariance, np.eye(4))
+
+    def test_fit_recovers_moments(self):
+        truth = _example()
+        samples = truth.sample(40000, rng=0)
+        fitted = MultivariateNormal.fit(samples)
+        np.testing.assert_allclose(fitted.mean, truth.mean, atol=0.06)
+        np.testing.assert_allclose(
+            fitted.covariance, truth.covariance, atol=0.15
+        )
+
+    def test_precision_is_inverse(self):
+        model = _example()
+        np.testing.assert_allclose(
+            model.precision @ model.covariance, np.eye(3), atol=1e-9
+        )
+
+
+class TestDensity:
+    def test_logpdf_matches_direct_formula(self):
+        model = _example()
+        point = np.array([0.0, 0.0, 0.0])
+        cov = model.covariance
+        centered = point - model.mean
+        expected = (
+            -0.5 * centered @ np.linalg.inv(cov) @ centered
+            - 0.5 * np.log(np.linalg.det(cov))
+            - 1.5 * np.log(2 * np.pi)
+        )
+        assert model.logpdf(point) == pytest.approx(expected)
+
+    def test_pdf_batch_shape(self):
+        model = _example()
+        points = np.zeros((5, 3))
+        assert model.pdf(points).shape == (5,)
+
+    def test_pdf_maximal_at_mean(self):
+        model = _example()
+        at_mean = model.pdf(model.mean)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            other = model.mean + rng.standard_normal(3)
+            assert model.pdf(other) <= at_mean
+
+    def test_mahalanobis_zero_at_mean(self):
+        model = _example()
+        assert model.mahalanobis(model.mean) == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_wrong_dimension(self):
+        with pytest.raises(ValidationError):
+            _example().logpdf(np.zeros(4))
+
+
+class TestSampling:
+    def test_sample_shape(self):
+        assert _example().sample(10, rng=0).shape == (10, 3)
+
+    def test_sample_moments(self):
+        model = _example()
+        samples = model.sample(60000, rng=1)
+        np.testing.assert_allclose(samples.mean(axis=0), model.mean, atol=0.05)
+        np.testing.assert_allclose(
+            np.cov(samples, rowvar=False), model.covariance, atol=0.1
+        )
+
+    def test_deterministic_with_seed(self):
+        np.testing.assert_array_equal(
+            _example().sample(5, rng=9), _example().sample(5, rng=9)
+        )
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValidationError):
+            _example().sample(0)
+
+
+class TestMarginalConditional:
+    def test_marginal_selects_blocks(self):
+        model = _example()
+        marginal = model.marginal([0, 2])
+        np.testing.assert_allclose(marginal.mean, [1.0, 0.5])
+        np.testing.assert_allclose(
+            marginal.covariance,
+            [[4.0, 0.5], [0.5, 2.0]],
+        )
+
+    def test_conditional_reduces_variance(self):
+        model = _example()
+        conditional = model.condition([0], [3.0])
+        assert conditional.dim == 2
+        marginal = model.marginal([1, 2])
+        assert np.all(
+            np.diag(conditional.covariance) <= np.diag(marginal.covariance) + 1e-12
+        )
+
+    def test_conditional_mean_formula_bivariate(self):
+        cov = np.array([[4.0, 2.0], [2.0, 9.0]])
+        model = MultivariateNormal([0.0, 0.0], cov)
+        conditional = model.condition([0], [2.0])
+        # mu_{1|0} = rho * sigma1/sigma0 * x0 = (2/4) * 2 = 1
+        assert conditional.mean[0] == pytest.approx(1.0)
+        # var_{1|0} = 9 - 4/4 * ... = 9 - 2*2/4 = 8
+        assert conditional.covariance[0, 0] == pytest.approx(8.0)
+
+    def test_independent_coordinates_unaffected(self):
+        model = MultivariateNormal([0.0, 5.0], np.diag([1.0, 2.0]))
+        conditional = model.condition([0], [10.0])
+        assert conditional.mean[0] == pytest.approx(5.0)
+        assert conditional.covariance[0, 0] == pytest.approx(2.0)
+
+    def test_conditioning_on_everything_rejected(self):
+        with pytest.raises(ValidationError):
+            _example().condition([0, 1, 2], [0.0, 0.0, 0.0])
+
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(ValidationError):
+            _example().condition([0, 0], [1.0, 1.0])
+
+    def test_out_of_range_indices_rejected(self):
+        with pytest.raises(ValidationError):
+            _example().marginal([5])
+
+    def test_value_count_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            _example().condition([0, 1], [1.0])
+
+    def test_conditional_agrees_with_sampling(self):
+        model = _example()
+        samples = model.sample(200000, rng=2)
+        mask = np.abs(samples[:, 0] - 1.0) < 0.05
+        empirical_mean = samples[mask][:, 1:].mean(axis=0)
+        conditional = model.condition([0], [1.0])
+        np.testing.assert_allclose(conditional.mean, empirical_mean, atol=0.1)

@@ -1,0 +1,106 @@
+"""Unit tests for repro.mining.naive_bayes."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.mining.naive_bayes import GaussianNaiveBayes, utility_report
+from repro.randomization.additive import AdditiveNoiseScheme
+
+
+def _two_class_data(n=3000, seed=0, separation=4.0):
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    class0 = rng.normal(0.0, 1.0, size=(half, 3))
+    class1 = rng.normal(separation, 1.0, size=(half, 3))
+    features = np.vstack([class0, class1])
+    labels = np.array([0] * half + [1] * half)
+    order = rng.permutation(n)
+    return features[order], labels[order]
+
+
+class TestGaussianNaiveBayes:
+    def test_separable_classes_high_accuracy(self):
+        features, labels = _two_class_data()
+        model = GaussianNaiveBayes().fit(features, labels)
+        assert model.accuracy(features, labels) > 0.97
+
+    def test_predict_returns_original_labels(self):
+        features, labels = _two_class_data(n=200)
+        model = GaussianNaiveBayes().fit(features, labels)
+        assert set(np.unique(model.predict(features))) <= {0, 1}
+
+    def test_log_joint_shape(self):
+        features, labels = _two_class_data(n=100)
+        model = GaussianNaiveBayes().fit(features, labels)
+        assert model.log_joint(features).shape == (100, 2)
+
+    def test_priors_affect_decisions(self):
+        rng = np.random.default_rng(1)
+        # 90/10 class imbalance with overlapping features.
+        features = rng.normal(0.0, 1.0, size=(1000, 1))
+        labels = (rng.random(1000) < 0.1).astype(int)
+        model = GaussianNaiveBayes().fit(features, labels)
+        predictions = model.predict(features)
+        # The majority class must dominate ambiguous predictions.
+        assert np.mean(predictions == 0) > 0.8
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            GaussianNaiveBayes().predict(np.zeros((2, 2)))
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValidationError, match="two classes"):
+            GaussianNaiveBayes().fit(np.zeros((10, 2)), np.zeros(10))
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(ValidationError):
+            GaussianNaiveBayes().fit(np.zeros((10, 2)), np.zeros(5))
+
+    def test_feature_dim_mismatch_at_predict(self):
+        features, labels = _two_class_data(n=100)
+        model = GaussianNaiveBayes().fit(features, labels)
+        with pytest.raises(ValidationError, match="attributes"):
+            model.predict(np.zeros((5, 7)))
+
+    def test_tiny_class_rejected(self):
+        features = np.zeros((5, 2))
+        labels = np.array([0, 0, 0, 0, 1])
+        with pytest.raises(ValidationError, match="fewer than 2"):
+            GaussianNaiveBayes().fit(features, labels)
+
+
+class TestFitDisguised:
+    def test_moment_correction_restores_accuracy(self):
+        """The Section 8.1 utility claim, in classifier form."""
+        features, labels = _two_class_data(n=6000, separation=3.0)
+        test_features, test_labels = _two_class_data(n=3000, seed=99,
+                                                     separation=3.0)
+        scheme = AdditiveNoiseScheme(std=3.0)
+        disguised = scheme.disguise(features, rng=2).disguised
+
+        report = utility_report(
+            features,
+            disguised,
+            labels,
+            test_features,
+            test_labels,
+            noise_covariance=9.0 * np.eye(3),
+        )
+        # Corrected model must roughly match the oracle; the naive model
+        # (noise-inflated variances) must not beat the corrected one.
+        assert report["disguised_corrected"] >= report["original"] - 0.03
+        assert (
+            report["disguised_corrected"] >= report["disguised_naive"] - 0.01
+        )
+
+    def test_corrected_variances_smaller_than_naive(self):
+        features, labels = _two_class_data(n=2000)
+        disguised = AdditiveNoiseScheme(std=3.0).disguise(
+            features, rng=3
+        ).disguised
+        naive = GaussianNaiveBayes().fit(disguised, labels)
+        corrected = GaussianNaiveBayes().fit_disguised(
+            disguised, labels, 9.0 * np.eye(3)
+        )
+        assert np.all(corrected._variances <= naive._variances + 1e-9)

@@ -1,0 +1,50 @@
+"""Unit tests for NDR (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.error import mean_square_error
+from repro.randomization.base import NoiseModel
+from repro.reconstruction.ndr import NoiseDistributionReconstructor
+
+
+class TestNDR:
+    def test_estimate_is_disguised_data(self, disguised_dataset):
+        result = NoiseDistributionReconstructor().reconstruct(
+            disguised_dataset
+        )
+        np.testing.assert_array_equal(
+            result.estimate, disguised_dataset.disguised
+        )
+
+    def test_mse_equals_noise_variance(self, disguised_dataset):
+        """Section 4.1: the m.s.e. of NDR is exactly the noise variance."""
+        result = NoiseDistributionReconstructor().reconstruct(
+            disguised_dataset
+        )
+        mse = mean_square_error(disguised_dataset.original, result)
+        empirical_noise_variance = float(
+            np.mean(disguised_dataset.noise**2)
+        )
+        assert mse == pytest.approx(empirical_noise_variance, rel=1e-12)
+
+    def test_nonzero_noise_mean_subtracted(self):
+        mean = np.array([2.0, -1.0])
+        model = NoiseModel(covariance=np.eye(2), mean=mean)
+        disguised = np.zeros((5, 2))
+        result = NoiseDistributionReconstructor().reconstruct(
+            disguised, model
+        )
+        np.testing.assert_allclose(result.estimate, -np.tile(mean, (5, 1)))
+
+    def test_expected_mse_reported(self, disguised_dataset):
+        result = NoiseDistributionReconstructor().reconstruct(
+            disguised_dataset
+        )
+        assert result.details["expected_mse"] == pytest.approx(25.0)
+
+    def test_method_name(self, disguised_dataset):
+        result = NoiseDistributionReconstructor().reconstruct(
+            disguised_dataset
+        )
+        assert result.method == "NDR"

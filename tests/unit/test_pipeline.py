@@ -1,0 +1,114 @@
+"""Unit tests for repro.core.pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import AttackPipeline, evaluate_attacks
+from repro.exceptions import ConfigurationError
+from repro.randomization.additive import AdditiveNoiseScheme
+from repro.reconstruction.bedr import BayesEstimateReconstructor
+from repro.reconstruction.ndr import NoiseDistributionReconstructor
+
+from tests.conftest import NOISE_STD
+
+
+def _attacks():
+    return {
+        "NDR": NoiseDistributionReconstructor(),
+        "BE-DR": BayesEstimateReconstructor(),
+    }
+
+
+class TestEvaluateAttacks:
+    def test_outcomes_keyed_by_attack(self, disguised_dataset):
+        outcomes = evaluate_attacks(disguised_dataset, _attacks())
+        assert set(outcomes) == {"NDR", "BE-DR"}
+        for name, outcome in outcomes.items():
+            assert outcome.name == name
+            assert outcome.rmse > 0.0
+            assert outcome.attribute_rmse.shape == (
+                disguised_dataset.n_attributes,
+            )
+
+    def test_rmse_consistent_with_result(self, disguised_dataset):
+        from repro.metrics.error import root_mean_square_error
+
+        outcomes = evaluate_attacks(disguised_dataset, _attacks())
+        for outcome in outcomes.values():
+            assert outcome.rmse == pytest.approx(
+                root_mean_square_error(
+                    disguised_dataset.original, outcome.result
+                )
+            )
+
+    def test_empty_attacks_rejected(self, disguised_dataset):
+        with pytest.raises(ConfigurationError):
+            evaluate_attacks(disguised_dataset, {})
+
+
+class TestAttackPipeline:
+    def test_run_on_matrix(self, small_dataset):
+        pipeline = AttackPipeline(
+            AdditiveNoiseScheme(std=NOISE_STD), _attacks()
+        )
+        report = pipeline.run(small_dataset.values, rng=0)
+        assert report.rmse("BE-DR") < report.rmse("NDR")
+
+    def test_run_on_synthetic_dataset(self, small_dataset):
+        pipeline = AttackPipeline(
+            AdditiveNoiseScheme(std=NOISE_STD), _attacks()
+        )
+        report = pipeline.run(small_dataset, rng=0)
+        assert report.dataset.n_records == small_dataset.n_records
+
+    def test_ranking_sorted_by_rmse(self, small_dataset):
+        pipeline = AttackPipeline(
+            AdditiveNoiseScheme(std=NOISE_STD), _attacks()
+        )
+        report = pipeline.run(small_dataset, rng=1)
+        ranking = report.ranking
+        rmses = [report.rmse(name) for name in ranking]
+        assert rmses == sorted(rmses)
+
+    def test_metadata_attached(self, small_dataset):
+        pipeline = AttackPipeline(
+            AdditiveNoiseScheme(std=NOISE_STD), _attacks()
+        )
+        report = pipeline.run(small_dataset, rng=2, metadata={"m": 12})
+        assert report.metadata == {"m": 12}
+
+    def test_deterministic_given_seed(self, small_dataset):
+        pipeline = AttackPipeline(
+            AdditiveNoiseScheme(std=NOISE_STD), _attacks()
+        )
+        a = pipeline.run(small_dataset, rng=3)
+        b = pipeline.run(small_dataset, rng=3)
+        assert a.rmse("BE-DR") == b.rmse("BE-DR")
+
+    def test_unknown_attack_name_raises(self, small_dataset):
+        pipeline = AttackPipeline(
+            AdditiveNoiseScheme(std=NOISE_STD), _attacks()
+        )
+        report = pipeline.run(small_dataset, rng=4)
+        with pytest.raises(KeyError, match="available"):
+            report.rmse("nope")
+
+    def test_rejects_non_scheme(self):
+        with pytest.raises(ConfigurationError, match="RandomizationScheme"):
+            AttackPipeline("noise", _attacks())
+
+    def test_rejects_empty_attacks(self):
+        with pytest.raises(ConfigurationError):
+            AttackPipeline(AdditiveNoiseScheme(std=1.0), {})
+
+    def test_rejects_non_reconstructor_values(self):
+        with pytest.raises(ConfigurationError, match="not a Reconstructor"):
+            AttackPipeline(
+                AdditiveNoiseScheme(std=1.0), {"bad": lambda y: y}
+            )
+
+    def test_attack_names_property(self):
+        pipeline = AttackPipeline(
+            AdditiveNoiseScheme(std=1.0), _attacks()
+        )
+        assert pipeline.attack_names == ["NDR", "BE-DR"]

@@ -1,0 +1,99 @@
+"""Unit tests for repro.metrics.privacy."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.privacy import (
+    interval_privacy,
+    mutual_information_privacy,
+    privacy_gain,
+)
+
+
+class TestIntervalPrivacy:
+    def test_perfect_reconstruction_gives_zero_width(self):
+        data = np.arange(20.0).reshape(10, 2)
+        widths = interval_privacy(data, data)
+        np.testing.assert_allclose(widths, [0.0, 0.0])
+
+    def test_gaussian_residual_width(self):
+        rng = np.random.default_rng(0)
+        original = np.zeros((100000, 1))
+        estimate = rng.normal(0.0, 2.0, size=(100000, 1))
+        width = interval_privacy(original, estimate, confidence=0.95)[0]
+        # 95% quantile of 2|e| with e ~ N(0,2): 2 * 2 * 1.96.
+        assert width == pytest.approx(2 * 2 * 1.96, rel=0.03)
+
+    def test_higher_confidence_wider_interval(self):
+        rng = np.random.default_rng(1)
+        original = np.zeros((5000, 1))
+        estimate = rng.normal(0.0, 1.0, size=(5000, 1))
+        narrow = interval_privacy(original, estimate, confidence=0.5)[0]
+        wide = interval_privacy(original, estimate, confidence=0.99)[0]
+        assert wide > narrow
+
+    def test_per_attribute_output(self):
+        rng = np.random.default_rng(2)
+        original = np.zeros((1000, 3))
+        estimate = original + rng.normal(
+            0.0, [0.5, 1.0, 2.0], size=(1000, 3)
+        )
+        widths = interval_privacy(original, estimate)
+        assert widths[0] < widths[1] < widths[2]
+
+    def test_confidence_bounds_checked(self):
+        with pytest.raises(ValidationError):
+            interval_privacy(np.zeros((2, 1)), np.zeros((2, 1)),
+                             confidence=1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            interval_privacy(np.zeros((2, 1)), np.zeros((3, 1)))
+
+
+class TestMutualInformationPrivacy:
+    def test_no_information_gain_is_zero(self):
+        assert mutual_information_privacy(4.0, 4.0) == pytest.approx(0.0)
+
+    def test_worse_than_prior_clamped_to_zero(self):
+        assert mutual_information_privacy(4.0, 9.0) == 0.0
+
+    def test_perfect_reconstruction_approaches_one(self):
+        assert mutual_information_privacy(4.0, 1e-12) == pytest.approx(
+            1.0, abs=1e-5
+        )
+
+    def test_known_value(self):
+        # residual var = var/4 -> loss = 1 - sqrt(1/4) = 0.5.
+        assert mutual_information_privacy(4.0, 1.0) == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_variances(self):
+        with pytest.raises(ValidationError):
+            mutual_information_privacy(0.0, 1.0)
+        with pytest.raises(ValidationError):
+            mutual_information_privacy(1.0, 0.0)
+
+
+class TestPrivacyGain:
+    def test_positive_when_defense_helps(self):
+        original = np.zeros((100, 2))
+        baseline = original + 1.0  # rmse 1
+        improved = original + 1.5  # rmse 1.5
+        assert privacy_gain(original, baseline, improved) == pytest.approx(
+            0.5
+        )
+
+    def test_zero_when_equal(self):
+        original = np.zeros((10, 1))
+        estimate = original + 2.0
+        assert privacy_gain(original, estimate, estimate.copy()) == 0.0
+
+    def test_negative_when_defense_backfires(self):
+        original = np.zeros((10, 1))
+        assert privacy_gain(original, original + 2.0, original + 1.0) < 0.0
+
+    def test_exact_baseline_rejected(self):
+        original = np.zeros((10, 1))
+        with pytest.raises(ValidationError, match="exact"):
+            privacy_gain(original, original.copy(), original + 1.0)

@@ -1,0 +1,125 @@
+"""Unit tests for repro.linalg.psd."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotPositiveDefiniteError
+from repro.linalg.psd import (
+    cholesky_with_jitter,
+    is_positive_semidefinite,
+    nearest_psd,
+    psd_inverse,
+)
+
+
+def _indefinite_matrix():
+    return np.array(
+        [
+            [1.0, 0.9, 0.0],
+            [0.9, 1.0, 0.9],
+            [0.0, 0.9, 0.2],
+        ]
+    )
+
+
+class TestIsPositiveSemidefinite:
+    def test_identity(self):
+        assert is_positive_semidefinite(np.eye(3))
+
+    def test_zero_matrix(self):
+        assert is_positive_semidefinite(np.zeros((3, 3)))
+
+    def test_indefinite(self):
+        assert not is_positive_semidefinite(_indefinite_matrix())
+
+    def test_tiny_negative_within_tolerance(self):
+        matrix = np.eye(2)
+        matrix[1, 1] = -1e-14
+        assert is_positive_semidefinite(matrix)
+
+
+class TestNearestPsd:
+    def test_already_psd_returned_unchanged(self):
+        matrix = np.array([[2.0, 0.5], [0.5, 1.0]])
+        np.testing.assert_allclose(nearest_psd(matrix), matrix)
+
+    def test_repair_produces_psd(self):
+        repaired = nearest_psd(_indefinite_matrix())
+        assert is_positive_semidefinite(repaired)
+
+    def test_repair_is_frobenius_projection(self):
+        # Clipping eigenvalues at zero is the nearest PSD matrix; any
+        # further perturbation must increase the Frobenius distance.
+        matrix = _indefinite_matrix()
+        repaired = nearest_psd(matrix)
+        base_distance = np.linalg.norm(matrix - repaired, "fro")
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            bump = rng.standard_normal((3, 3)) * 0.05
+            candidate = repaired + (bump + bump.T) / 2.0
+            if is_positive_semidefinite(candidate):
+                distance = np.linalg.norm(matrix - candidate, "fro")
+                assert distance >= base_distance - 1e-9
+
+    def test_floor_gives_positive_definite(self):
+        repaired = nearest_psd(_indefinite_matrix(), floor=0.1)
+        values = np.linalg.eigvalsh(repaired)
+        assert values.min() >= 0.1 - 1e-9
+
+    def test_negative_floor_rejected(self):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            nearest_psd(np.eye(2), floor=-1.0)
+
+
+class TestCholeskyWithJitter:
+    def test_plain_cholesky_when_pd(self):
+        matrix = np.array([[4.0, 1.0], [1.0, 3.0]])
+        lower = cholesky_with_jitter(matrix)
+        np.testing.assert_allclose(lower @ lower.T, matrix, atol=1e-12)
+
+    def test_singular_psd_gets_jitter(self):
+        matrix = np.array([[1.0, 1.0], [1.0, 1.0]])  # rank 1
+        lower = cholesky_with_jitter(matrix)
+        np.testing.assert_allclose(lower @ lower.T, matrix, atol=1e-6)
+
+    def test_genuinely_indefinite_raises(self):
+        matrix = np.diag([1.0, -5.0])
+        with pytest.raises(NotPositiveDefiniteError):
+            cholesky_with_jitter(matrix, max_tries=3)
+
+    def test_returns_lower_triangular(self):
+        lower = cholesky_with_jitter(np.eye(3) * 2.0)
+        assert np.allclose(lower, np.tril(lower))
+
+
+class TestPsdInverse:
+    def test_matches_plain_inverse_when_well_conditioned(self):
+        matrix = np.array([[4.0, 1.0], [1.0, 3.0]])
+        np.testing.assert_allclose(
+            psd_inverse(matrix), np.linalg.inv(matrix), atol=1e-10
+        )
+
+    def test_near_singular_is_bounded(self):
+        matrix = np.diag([1.0, 1e-16])
+        inverse = psd_inverse(matrix, floor=1e-10)
+        assert np.all(np.isfinite(inverse))
+        assert inverse[1, 1] <= 1e10 + 1.0
+
+    def test_result_symmetric(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((5, 5))
+        matrix = a @ a.T + np.eye(5)
+        inverse = psd_inverse(matrix)
+        np.testing.assert_allclose(inverse, inverse.T, atol=1e-12)
+
+    def test_no_positive_eigenvalues_raises(self):
+        with pytest.raises(NotPositiveDefiniteError):
+            psd_inverse(-np.eye(2))
+
+    def test_floor_must_be_positive(self):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            psd_inverse(np.eye(2), floor=0.0)

@@ -1,0 +1,106 @@
+"""Unit tests for repro.randomization.randomized_response."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.randomization.randomized_response import WarnerRandomizedResponse
+
+
+class TestConstruction:
+    def test_accepts_valid_theta(self):
+        assert WarnerRandomizedResponse(0.8).truth_probability == 0.8
+
+    def test_rejects_half(self):
+        with pytest.raises(ValidationError, match="0.5"):
+            WarnerRandomizedResponse(0.5)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            WarnerRandomizedResponse(1.5)
+
+
+class TestDisguise:
+    def test_output_is_binary(self):
+        scheme = WarnerRandomizedResponse(0.7)
+        bits = np.array([0, 1, 1, 0, 1])
+        out = scheme.disguise(bits, rng=0)
+        assert set(np.unique(out)).issubset({0, 1})
+
+    def test_flip_rate_matches_theta(self):
+        scheme = WarnerRandomizedResponse(0.7)
+        bits = np.ones(100000, dtype=int)
+        out = scheme.disguise(bits, rng=1)
+        assert out.mean() == pytest.approx(0.7, abs=0.01)
+
+    def test_theta_one_is_identity(self):
+        scheme = WarnerRandomizedResponse(1.0)
+        bits = np.array([0, 1, 0, 1])
+        np.testing.assert_array_equal(scheme.disguise(bits, rng=2), bits)
+
+    def test_theta_zero_is_complement(self):
+        scheme = WarnerRandomizedResponse(0.0)
+        bits = np.array([0, 1, 0, 1])
+        np.testing.assert_array_equal(
+            scheme.disguise(bits, rng=3), 1 - bits
+        )
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValidationError, match="0 and 1"):
+            WarnerRandomizedResponse(0.7).disguise([0, 2, 1])
+
+
+class TestEstimateProportion:
+    def test_unbiased_recovery(self):
+        scheme = WarnerRandomizedResponse(0.75)
+        rng = np.random.default_rng(4)
+        true_pi = 0.3
+        bits = (rng.random(200000) < true_pi).astype(int)
+        responses = scheme.disguise(bits, rng=5)
+        assert scheme.estimate_proportion(responses) == pytest.approx(
+            true_pi, abs=0.01
+        )
+
+    def test_clipped_to_unit_interval(self):
+        scheme = WarnerRandomizedResponse(0.9)
+        # All-zero responses give a raw estimate below zero.
+        assert scheme.estimate_proportion(np.zeros(10, dtype=int)) == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            WarnerRandomizedResponse(0.7).estimate_proportion([])
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValidationError):
+            WarnerRandomizedResponse(0.7).estimate_proportion([0, 3])
+
+
+class TestPosterior:
+    def test_bayes_update_direction(self):
+        scheme = WarnerRandomizedResponse(0.9)
+        prior = 0.5
+        # Seeing a 1 under a mostly-truthful scheme raises belief in 1.
+        assert scheme.posterior_truth_probability(1, prior) > prior
+        assert scheme.posterior_truth_probability(0, prior) < prior
+
+    def test_known_value(self):
+        scheme = WarnerRandomizedResponse(0.8)
+        # P(x=1 | r=1) = 0.8*0.5 / (0.8*0.5 + 0.2*0.5) = 0.8
+        assert scheme.posterior_truth_probability(1, 0.5) == pytest.approx(0.8)
+
+    def test_extreme_prior_fixed_points(self):
+        scheme = WarnerRandomizedResponse(0.7)
+        assert scheme.posterior_truth_probability(1, 0.0) == 0.0
+        assert scheme.posterior_truth_probability(1, 1.0) == 1.0
+
+    def test_rejects_bad_response(self):
+        with pytest.raises(ValidationError):
+            WarnerRandomizedResponse(0.7).posterior_truth_probability(2, 0.5)
+
+    def test_privacy_decreases_with_theta(self):
+        # Closer theta to 1 => responses more revealing.
+        weak = WarnerRandomizedResponse(0.6)
+        strong = WarnerRandomizedResponse(0.95)
+        assert strong.posterior_truth_probability(
+            1, 0.5
+        ) > weak.posterior_truth_probability(1, 0.5)

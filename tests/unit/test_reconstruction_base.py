@@ -1,0 +1,69 @@
+"""Unit tests for repro.reconstruction.base."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.randomization.base import NoiseModel
+from repro.reconstruction.base import ReconstructionResult, Reconstructor
+from repro.reconstruction.ndr import NoiseDistributionReconstructor
+
+
+def _model(m=3):
+    return NoiseModel(covariance=np.eye(m), mean=np.zeros(m))
+
+
+class TestReconstructionResult:
+    def test_shape_properties(self):
+        result = ReconstructionResult(
+            estimate=np.zeros((4, 2)), method="X"
+        )
+        assert result.n_records == 4
+        assert result.n_attributes == 2
+
+    def test_rejects_empty_method(self):
+        with pytest.raises(ValidationError):
+            ReconstructionResult(estimate=np.zeros((2, 2)), method="")
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValidationError):
+            ReconstructionResult(estimate=np.zeros(3), method="X")
+
+    def test_details_default_empty(self):
+        result = ReconstructionResult(estimate=np.zeros((1, 1)), method="X")
+        assert result.details == {}
+
+
+class TestReconstructorDispatch:
+    def test_accepts_disguised_dataset(self, disguised_dataset):
+        result = NoiseDistributionReconstructor().reconstruct(
+            disguised_dataset
+        )
+        assert result.estimate.shape == disguised_dataset.disguised.shape
+
+    def test_accepts_raw_matrix_with_model(self):
+        matrix = np.random.default_rng(0).normal(size=(10, 3))
+        result = NoiseDistributionReconstructor().reconstruct(
+            matrix, _model()
+        )
+        np.testing.assert_array_equal(result.estimate, matrix)
+
+    def test_rejects_matrix_without_model(self):
+        with pytest.raises(ValidationError, match="noise_model is required"):
+            NoiseDistributionReconstructor().reconstruct(np.zeros((4, 3)))
+
+    def test_rejects_dataset_plus_model(self, disguised_dataset):
+        with pytest.raises(ValidationError, match="not both"):
+            NoiseDistributionReconstructor().reconstruct(
+                disguised_dataset, _model(disguised_dataset.n_attributes)
+            )
+
+    def test_rejects_dim_mismatch(self):
+        with pytest.raises(ValidationError, match="covers"):
+            NoiseDistributionReconstructor().reconstruct(
+                np.zeros((4, 3)), _model(2)
+            )
+
+    def test_abstract_base_cannot_instantiate(self):
+        with pytest.raises(TypeError):
+            Reconstructor()

@@ -1,0 +1,67 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).random(5)
+        b = as_generator(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passed_through(self):
+        generator = np.random.default_rng(0)
+        assert as_generator(generator) is generator
+
+    def test_seed_sequence_accepted(self):
+        sequence = np.random.SeedSequence(7)
+        assert isinstance(as_generator(sequence), np.random.Generator)
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(as_generator(np.int32(5)), np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            as_generator(-1)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(ValidationError, match="rng must be"):
+            as_generator("seed")
+
+
+class TestSpawnGenerators:
+    def test_count_respected(self):
+        children = spawn_generators(0, 4)
+        assert len(children) == 4
+
+    def test_children_are_independent_streams(self):
+        children = spawn_generators(0, 2)
+        a = children[0].random(8)
+        b = children[1].random(8)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_given_seed(self):
+        first = [g.random(3) for g in spawn_generators(9, 3)]
+        second = [g.random(3) for g in spawn_generators(9, 3)]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValidationError):
+            spawn_generators(0, 0)
+
+    def test_rejects_non_int_count(self):
+        with pytest.raises(ValidationError):
+            spawn_generators(0, 2.5)

@@ -1,0 +1,75 @@
+"""Unit tests for PCA-DR component-selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.reconstruction.selection import (
+    EnergyFractionSelector,
+    FixedCountSelector,
+    LargestGapSelector,
+)
+
+TWO_LEVEL = np.array([400.0, 400.0, 400.0, 4.0, 4.0, 4.0, 4.0, 4.0])
+
+
+class TestFixedCountSelector:
+    def test_returns_requested_count(self):
+        assert FixedCountSelector(3).select(TWO_LEVEL) == 3
+
+    def test_clamps_to_spectrum_length(self):
+        assert FixedCountSelector(100).select(TWO_LEVEL) == 8
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            FixedCountSelector(0)
+
+    def test_rejects_empty_spectrum(self):
+        with pytest.raises(ValidationError):
+            FixedCountSelector(1).select(np.array([]))
+
+    def test_count_property(self):
+        assert FixedCountSelector(5).count == 5
+
+
+class TestEnergyFractionSelector:
+    def test_selects_minimum_prefix(self):
+        # Top 3 hold 1200 of 1220 total (98.4%).
+        assert EnergyFractionSelector(0.95).select(TWO_LEVEL) == 3
+
+    def test_full_energy_keeps_all(self):
+        assert EnergyFractionSelector(1.0).select(TWO_LEVEL) == 8
+
+    def test_small_fraction_keeps_one(self):
+        assert EnergyFractionSelector(0.1).select(TWO_LEVEL) == 1
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValidationError):
+            EnergyFractionSelector(0.0)
+        with pytest.raises(ValidationError):
+            EnergyFractionSelector(1.1)
+
+
+class TestLargestGapSelector:
+    def test_finds_two_level_split(self):
+        assert LargestGapSelector().select(TWO_LEVEL) == 3
+
+    def test_flat_spectrum_keeps_all(self):
+        assert LargestGapSelector().select(np.full(6, 50.0)) == 6
+
+    def test_max_rank_cap(self):
+        # Gaps within the capped range are all zero (flat plateau), so the
+        # first split wins; the point is that the cap is respected.
+        assert LargestGapSelector(max_rank=2).select(TWO_LEVEL) <= 2
+        spectrum = np.array([100.0, 90.0, 1.0, 0.5])
+        assert LargestGapSelector().select(spectrum) == 2
+        assert LargestGapSelector(max_rank=1).select(spectrum) == 1
+
+    def test_rejects_bad_max_rank(self):
+        with pytest.raises(ValidationError):
+            LargestGapSelector(max_rank=0)
+
+    def test_noisy_two_level_still_found(self):
+        rng = np.random.default_rng(0)
+        noisy = np.sort(TWO_LEVEL + rng.normal(0.0, 1.0, 8))[::-1]
+        assert LargestGapSelector().select(noisy) == 3

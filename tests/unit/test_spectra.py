@@ -1,0 +1,115 @@
+"""Unit tests for repro.data.spectra."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SpectrumError
+from repro.data.spectra import (
+    decaying_spectrum,
+    rescale_to_trace,
+    two_level_spectrum,
+)
+
+
+class TestTwoLevelSpectrum:
+    def test_trace_constraint_satisfied(self):
+        spectrum = two_level_spectrum(10, 3, total_variance=1000.0)
+        assert spectrum.sum() == pytest.approx(1000.0)
+
+    def test_structure(self):
+        spectrum = two_level_spectrum(
+            10, 3, total_variance=1000.0, non_principal_value=4.0
+        )
+        assert np.all(spectrum[:3] == spectrum[0])
+        assert np.all(spectrum[3:] == 4.0)
+        assert spectrum[0] > 4.0
+
+    def test_sorted_descending(self):
+        spectrum = two_level_spectrum(8, 2, total_variance=800.0)
+        assert np.all(np.diff(spectrum) <= 0.0)
+
+    def test_principal_value_mode(self):
+        spectrum = two_level_spectrum(
+            6, 2, principal_value=400.0, non_principal_value=10.0
+        )
+        np.testing.assert_allclose(spectrum[:2], 400.0)
+        np.testing.assert_allclose(spectrum[2:], 10.0)
+
+    def test_eq12_solves_principal_value(self):
+        # Eq. 12: p*high + (m-p)*low = trace.
+        m, p, low, trace = 20, 4, 2.0, 500.0
+        spectrum = two_level_spectrum(
+            m, p, total_variance=trace, non_principal_value=low
+        )
+        expected_high = (trace - (m - p) * low) / p
+        assert spectrum[0] == pytest.approx(expected_high)
+
+    def test_all_principal_allowed(self):
+        spectrum = two_level_spectrum(5, 5, total_variance=500.0)
+        np.testing.assert_allclose(spectrum, 100.0)
+
+    def test_rejects_p_above_m(self):
+        with pytest.raises(SpectrumError):
+            two_level_spectrum(3, 4, total_variance=100.0)
+
+    def test_rejects_both_modes(self):
+        with pytest.raises(SpectrumError, match="exactly one"):
+            two_level_spectrum(
+                5, 2, total_variance=100.0, principal_value=50.0
+            )
+
+    def test_rejects_neither_mode(self):
+        with pytest.raises(SpectrumError, match="exactly one"):
+            two_level_spectrum(5, 2)
+
+    def test_rejects_insufficient_trace(self):
+        # Trace so small the principal value would fall below the floor.
+        with pytest.raises(SpectrumError, match="too small"):
+            two_level_spectrum(
+                10, 2, total_variance=45.0, non_principal_value=5.0
+            )
+
+    def test_rejects_principal_below_non_principal(self):
+        with pytest.raises(SpectrumError):
+            two_level_spectrum(
+                5, 2, principal_value=1.0, non_principal_value=10.0
+            )
+
+
+class TestDecayingSpectrum:
+    def test_geometric_ratio(self):
+        spectrum = decaying_spectrum(6, decay=0.5)
+        ratios = spectrum[1:] / spectrum[:-1]
+        np.testing.assert_allclose(ratios, 0.5)
+
+    def test_trace_rescaling(self):
+        spectrum = decaying_spectrum(10, decay=0.9, total_variance=250.0)
+        assert spectrum.sum() == pytest.approx(250.0)
+
+    def test_rejects_decay_out_of_range(self):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            decaying_spectrum(5, decay=1.0)
+        with pytest.raises(ValidationError):
+            decaying_spectrum(5, decay=0.0)
+
+
+class TestRescaleToTrace:
+    def test_rescales(self):
+        result = rescale_to_trace([1.0, 2.0, 3.0], 12.0)
+        np.testing.assert_allclose(result, [2.0, 4.0, 6.0])
+
+    def test_rejects_negative_eigenvalues(self):
+        with pytest.raises(SpectrumError):
+            rescale_to_trace([1.0, -1.0], 10.0)
+
+    def test_rejects_zero_sum(self):
+        with pytest.raises(SpectrumError):
+            rescale_to_trace([0.0, 0.0], 10.0)
+
+    def test_rejects_nonpositive_target(self):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            rescale_to_trace([1.0, 2.0], 0.0)

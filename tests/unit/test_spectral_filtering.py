@@ -1,0 +1,120 @@
+"""Unit tests for SF (the Kargupta et al. baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.error import root_mean_square_error
+from repro.reconstruction.ndr import NoiseDistributionReconstructor
+from repro.reconstruction.spectral_filtering import (
+    SpectralFilteringReconstructor,
+    marchenko_pastur_bounds,
+)
+
+
+class TestMarchenkoPasturBounds:
+    def test_known_values(self):
+        lower, upper = marchenko_pastur_bounds(1.0, 400, 100)
+        # sqrt(m/n) = 0.5 -> bounds (0.25, 2.25).
+        assert lower == pytest.approx(0.25)
+        assert upper == pytest.approx(2.25)
+
+    def test_scales_with_variance(self):
+        l1, u1 = marchenko_pastur_bounds(1.0, 1000, 100)
+        l2, u2 = marchenko_pastur_bounds(4.0, 1000, 100)
+        assert l2 == pytest.approx(4.0 * l1)
+        assert u2 == pytest.approx(4.0 * u1)
+
+    def test_bounds_tighten_with_more_samples(self):
+        _, upper_small = marchenko_pastur_bounds(1.0, 200, 100)
+        _, upper_large = marchenko_pastur_bounds(1.0, 20000, 100)
+        assert upper_large < upper_small
+        assert upper_large == pytest.approx(1.0, abs=0.2)
+
+    def test_empirical_noise_eigenvalues_inside_bounds(self):
+        rng = np.random.default_rng(0)
+        n, m, sigma = 2000, 50, 3.0
+        noise = rng.normal(0.0, sigma, size=(n, m))
+        eigenvalues = np.linalg.eigvalsh(np.cov(noise, rowvar=False))
+        lower, upper = marchenko_pastur_bounds(sigma**2, n, m)
+        # Asymptotic bounds; allow a tiny finite-size overshoot.
+        assert eigenvalues.max() < upper * 1.1
+        assert eigenvalues.min() > lower * 0.9
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValidationError):
+            marchenko_pastur_bounds(-1.0, 10, 5)
+        with pytest.raises(ValidationError):
+            marchenko_pastur_bounds(1.0, 0, 5)
+
+
+class TestSpectralFiltering:
+    def test_identifies_signal_components(self, disguised_dataset):
+        result = SpectralFilteringReconstructor().reconstruct(
+            disguised_dataset
+        )
+        # The fixture has 3 strong components; SF should find roughly that.
+        assert 3 <= result.details["n_signal"] <= 5
+
+    def test_beats_ndr_on_correlated_data(self, disguised_dataset):
+        original = disguised_dataset.original
+        sf = root_mean_square_error(
+            original,
+            SpectralFilteringReconstructor().reconstruct(disguised_dataset),
+        )
+        ndr = root_mean_square_error(
+            original,
+            NoiseDistributionReconstructor().reconstruct(disguised_dataset),
+        )
+        assert sf < ndr
+
+    def test_keeps_at_least_one_component(self):
+        """Pure noise input must not produce an empty signal subspace."""
+        rng = np.random.default_rng(1)
+        pure_noise = rng.normal(0.0, 5.0, size=(500, 8))
+        from repro.randomization.base import NoiseModel
+
+        model = NoiseModel(
+            covariance=25.0 * np.eye(8), mean=np.zeros(8)
+        )
+        result = SpectralFilteringReconstructor().reconstruct(
+            pure_noise, model
+        )
+        assert result.details["n_signal"] == 1
+
+    def test_bounds_in_details(self, disguised_dataset):
+        result = SpectralFilteringReconstructor().reconstruct(
+            disguised_dataset
+        )
+        lower, upper = result.details["noise_bounds"]
+        n, m = disguised_dataset.disguised.shape
+        expected = marchenko_pastur_bounds(25.0, n, m)
+        assert (lower, upper) == pytest.approx(expected)
+
+    def test_tolerance_raises_threshold(self, disguised_dataset):
+        strict = SpectralFilteringReconstructor(tolerance=0.0).reconstruct(
+            disguised_dataset
+        )
+        loose = SpectralFilteringReconstructor(tolerance=5.0).reconstruct(
+            disguised_dataset
+        )
+        assert loose.details["n_signal"] <= strict.details["n_signal"]
+
+    def test_needs_two_records(self):
+        from repro.randomization.base import NoiseModel
+
+        model = NoiseModel(covariance=np.eye(2), mean=np.zeros(2))
+        with pytest.raises(ValidationError):
+            SpectralFilteringReconstructor().reconstruct(
+                np.zeros((1, 2)), model
+            )
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValidationError):
+            SpectralFilteringReconstructor(tolerance=-0.1)
+
+    def test_method_name(self, disguised_dataset):
+        result = SpectralFilteringReconstructor().reconstruct(
+            disguised_dataset
+        )
+        assert result.method == "SF"

@@ -1,0 +1,73 @@
+"""Unit tests for repro.data.synthetic."""
+
+import numpy as np
+import pytest
+
+from repro.data.covariance_builder import CovarianceModel
+from repro.data.synthetic import generate_dataset
+from repro.exceptions import ValidationError
+
+
+class TestGenerateDataset:
+    def test_shape_and_metadata(self):
+        dataset = generate_dataset(
+            spectrum=[10.0, 2.0], n_records=50, rng=0
+        )
+        assert dataset.values.shape == (50, 2)
+        assert dataset.n_records == 50
+        assert dataset.n_attributes == 2
+
+    def test_sample_covariance_tracks_model(self):
+        dataset = generate_dataset(
+            spectrum=[100.0, 40.0, 4.0], n_records=50000, rng=1
+        )
+        sample_cov = np.cov(dataset.values, rowvar=False)
+        np.testing.assert_allclose(
+            sample_cov,
+            dataset.population_covariance,
+            atol=2.0,
+        )
+
+    def test_zero_mean_by_default(self):
+        dataset = generate_dataset(
+            spectrum=[50.0, 10.0], n_records=20000, rng=2
+        )
+        np.testing.assert_allclose(dataset.mean, [0.0, 0.0])
+        np.testing.assert_allclose(
+            dataset.values.mean(axis=0), [0.0, 0.0], atol=0.2
+        )
+
+    def test_custom_mean(self):
+        dataset = generate_dataset(
+            spectrum=[4.0, 1.0], n_records=20000, mean=[10.0, -5.0], rng=3
+        )
+        np.testing.assert_allclose(
+            dataset.values.mean(axis=0), [10.0, -5.0], atol=0.1
+        )
+
+    def test_prebuilt_model_used_directly(self):
+        model = CovarianceModel.from_spectrum([9.0, 1.0], rng=4)
+        dataset = generate_dataset(model, n_records=10, rng=5)
+        assert dataset.covariance_model is model
+
+    def test_deterministic_given_seed(self):
+        a = generate_dataset(spectrum=[5.0, 2.0], n_records=20, rng=6)
+        b = generate_dataset(spectrum=[5.0, 2.0], n_records=20, rng=6)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_model_and_spectrum_mutually_exclusive(self):
+        model = CovarianceModel.from_spectrum([2.0, 1.0], rng=0)
+        with pytest.raises(ValidationError, match="exactly one"):
+            generate_dataset(model, n_records=5, spectrum=[2.0, 1.0])
+        with pytest.raises(ValidationError, match="exactly one"):
+            generate_dataset(n_records=5)
+
+    def test_mean_length_checked(self):
+        with pytest.raises(ValidationError):
+            generate_dataset(
+                spectrum=[2.0, 1.0], n_records=5, mean=[0.0, 0.0, 0.0]
+            )
+
+    def test_rejects_zero_records(self):
+        with pytest.raises(ValidationError):
+            generate_dataset(spectrum=[1.0], n_records=0)

@@ -1,0 +1,59 @@
+"""Unit tests for repro.core.threat_model."""
+
+import numpy as np
+import pytest
+
+from repro.core.threat_model import ThreatModel
+from repro.exceptions import ConfigurationError
+from repro.reconstruction.bedr import BayesEstimateReconstructor
+from repro.reconstruction.partial_disclosure import (
+    ConditionalDisclosureReconstructor,
+)
+from repro.reconstruction.wiener import WienerSmootherReconstructor
+
+
+class TestBuildAttacks:
+    def test_baseline_model(self):
+        attacks = ThreatModel(exploits_correlations=False).build_attacks()
+        assert set(attacks) == {"NDR", "UDR"}
+
+    def test_default_includes_correlation_attacks(self):
+        attacks = ThreatModel().build_attacks()
+        assert {"NDR", "UDR", "SF", "PCA-DR", "BE-DR"} <= set(attacks)
+        assert isinstance(attacks["BE-DR"], BayesEstimateReconstructor)
+
+    def test_serial_dependency_adds_wiener(self):
+        attacks = ThreatModel(
+            exploits_serial_dependency=True
+        ).build_attacks()
+        assert isinstance(attacks["Wiener"], WienerSmootherReconstructor)
+
+    def test_leak_adds_conditional_attack(self):
+        model = ThreatModel(
+            leaked_attributes=(0, 2),
+            leaked_values=np.zeros((10, 2)),
+        )
+        attacks = model.build_attacks()
+        assert isinstance(
+            attacks["BE-DR+leak"], ConditionalDisclosureReconstructor
+        )
+        assert model.has_leak
+
+    def test_udr_prior_forwarded(self):
+        attacks = ThreatModel(udr_prior="reconstructed").build_attacks()
+        assert attacks["UDR"].prior_mode == "reconstructed"
+
+    def test_leak_requires_both_fields(self):
+        with pytest.raises(ConfigurationError, match="together"):
+            ThreatModel(leaked_attributes=(0,))
+        with pytest.raises(ConfigurationError, match="together"):
+            ThreatModel(leaked_values=np.zeros((5, 1)))
+
+    def test_repr_summarizes_knowledge(self):
+        model = ThreatModel(
+            exploits_serial_dependency=True,
+            leaked_attributes=(1,),
+            leaked_values=np.zeros((3, 1)),
+        )
+        text = repr(model)
+        assert "serial" in text and "leak[1]" in text

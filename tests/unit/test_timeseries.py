@@ -1,0 +1,94 @@
+"""Unit tests for repro.data.timeseries."""
+
+import numpy as np
+import pytest
+
+from repro.data.timeseries import VectorAutoregressiveGenerator
+from repro.exceptions import ValidationError
+
+
+class TestConstruction:
+    def test_scalar_coefficient(self):
+        generator = VectorAutoregressiveGenerator(0.8, n_channels=3)
+        np.testing.assert_allclose(generator.transition, 0.8 * np.eye(3))
+
+    def test_matrix_coefficient(self):
+        matrix = np.array([[0.5, 0.1], [0.0, 0.4]])
+        generator = VectorAutoregressiveGenerator(matrix)
+        np.testing.assert_array_equal(generator.transition, matrix)
+        assert generator.n_channels == 2
+
+    def test_rejects_unit_root(self):
+        with pytest.raises(ValidationError, match="not stationary"):
+            VectorAutoregressiveGenerator(np.eye(2))
+
+    def test_rejects_scalar_out_of_range(self):
+        with pytest.raises(ValidationError):
+            VectorAutoregressiveGenerator(1.0, n_channels=1)
+
+    def test_rejects_conflicting_channels(self):
+        with pytest.raises(ValidationError, match="conflicts"):
+            VectorAutoregressiveGenerator(
+                np.array([[0.5]]), n_channels=3
+            )
+
+    def test_rejects_bad_innovation_std(self):
+        with pytest.raises(ValidationError):
+            VectorAutoregressiveGenerator(0.5, innovation_std=0.0)
+
+
+class TestStationaryCovariance:
+    def test_ar1_closed_form(self):
+        # AR(1): stationary variance = s^2 / (1 - phi^2).
+        phi, s = 0.7, 2.0
+        generator = VectorAutoregressiveGenerator(
+            phi, innovation_std=s, n_channels=1
+        )
+        stationary = generator.stationary_covariance()
+        assert stationary[0, 0] == pytest.approx(s**2 / (1 - phi**2))
+
+    def test_solves_lyapunov_equation(self):
+        matrix = np.array([[0.6, 0.2], [-0.1, 0.5]])
+        generator = VectorAutoregressiveGenerator(matrix, innovation_std=1.5)
+        stationary = generator.stationary_covariance()
+        residual = (
+            matrix @ stationary @ matrix.T
+            + 1.5**2 * np.eye(2)
+            - stationary
+        )
+        np.testing.assert_allclose(residual, np.zeros((2, 2)), atol=1e-9)
+
+    def test_autocovariance_lag_formula(self):
+        phi = 0.8
+        generator = VectorAutoregressiveGenerator(phi, n_channels=1)
+        lag0 = generator.autocovariance(0)[0, 0]
+        lag3 = generator.autocovariance(3)[0, 0]
+        assert lag3 == pytest.approx(phi**3 * lag0)
+
+
+class TestSampling:
+    def test_shape(self):
+        generator = VectorAutoregressiveGenerator(0.5, n_channels=4)
+        series = generator.sample(100, rng=0)
+        assert series.shape == (100, 4)
+
+    def test_empirical_autocorrelation(self):
+        phi = 0.9
+        generator = VectorAutoregressiveGenerator(phi, n_channels=1)
+        series = generator.sample(40000, rng=1).ravel()
+        empirical = np.corrcoef(series[:-1], series[1:])[0, 1]
+        assert empirical == pytest.approx(phi, abs=0.02)
+
+    def test_empirical_variance_matches_stationary(self):
+        generator = VectorAutoregressiveGenerator(
+            0.6, innovation_std=1.0, n_channels=1
+        )
+        series = generator.sample(60000, rng=2).ravel()
+        expected = generator.stationary_covariance()[0, 0]
+        assert series.var() == pytest.approx(expected, rel=0.05)
+
+    def test_deterministic_given_seed(self):
+        generator = VectorAutoregressiveGenerator(0.5, n_channels=2)
+        np.testing.assert_array_equal(
+            generator.sample(50, rng=7), generator.sample(50, rng=7)
+        )

@@ -1,0 +1,136 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError, ValidationError
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_matrix,
+    check_positive_int,
+    check_probability,
+    check_square,
+    check_symmetric,
+    check_vector,
+)
+
+
+class TestCheckMatrix:
+    def test_accepts_2d_list(self):
+        result = check_matrix([[1, 2], [3, 4]])
+        assert result.shape == (2, 2)
+        assert result.dtype == np.float64
+
+    def test_promotes_1d_when_allowed(self):
+        result = check_matrix([1.0, 2.0, 3.0], allow_1d=True)
+        assert result.shape == (3, 1)
+
+    def test_rejects_1d_by_default(self):
+        with pytest.raises(ShapeError):
+            check_matrix([1.0, 2.0, 3.0])
+
+    def test_rejects_3d(self):
+        with pytest.raises(ShapeError):
+            check_matrix(np.zeros((2, 2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="NaN"):
+            check_matrix([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            check_matrix([[np.inf, 1.0]])
+
+    def test_min_rows_enforced(self):
+        with pytest.raises(ValidationError, match="rows"):
+            check_matrix([[1.0, 2.0]], min_rows=2)
+
+    def test_min_cols_enforced(self):
+        with pytest.raises(ValidationError, match="columns"):
+            check_matrix([[1.0], [2.0]], min_cols=2)
+
+    def test_error_names_argument(self):
+        with pytest.raises(ValidationError, match="'payload'"):
+            check_matrix([[np.nan]], "payload")
+
+
+class TestCheckVector:
+    def test_accepts_list(self):
+        result = check_vector([1, 2, 3])
+        assert result.shape == (3,)
+
+    def test_promotes_scalar(self):
+        assert check_vector(5.0).shape == (1,)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            check_vector([[1.0, 2.0]])
+
+    def test_min_length(self):
+        with pytest.raises(ValidationError, match="at least 2"):
+            check_vector([1.0], min_length=2)
+
+
+class TestCheckSquareAndSymmetric:
+    def test_square_accepts(self):
+        assert check_square(np.eye(3)).shape == (3, 3)
+
+    def test_square_rejects_rectangular(self):
+        with pytest.raises(ShapeError):
+            check_square(np.zeros((2, 3)))
+
+    def test_symmetric_accepts_and_symmetrizes(self):
+        matrix = np.array([[1.0, 2.0 + 1e-12], [2.0, 3.0]])
+        result = check_symmetric(matrix)
+        np.testing.assert_allclose(result, result.T)
+
+    def test_symmetric_rejects_asymmetric(self):
+        with pytest.raises(ValidationError, match="not symmetric"):
+            check_symmetric([[1.0, 5.0], [0.0, 1.0]])
+
+
+class TestScalarChecks:
+    def test_positive_int_accepts(self):
+        assert check_positive_int(3, "k") == 3
+
+    def test_positive_int_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(4), "k") == 4
+
+    def test_positive_int_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(True, "k")
+
+    def test_positive_int_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(3.0, "k")
+
+    def test_positive_int_respects_minimum(self):
+        with pytest.raises(ValidationError, match=">= 2"):
+            check_positive_int(1, "k", minimum=2)
+
+    def test_in_range_inclusive(self):
+        assert check_in_range(0.0, "x", low=0.0, high=1.0) == 0.0
+
+    def test_in_range_exclusive_low(self):
+        with pytest.raises(ValidationError):
+            check_in_range(0.0, "x", low=0.0, inclusive_low=False)
+
+    def test_in_range_rejects_nan(self):
+        with pytest.raises(ValidationError, match="NaN"):
+            check_in_range(float("nan"), "x")
+
+    def test_in_range_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            check_in_range("abc", "x")
+
+    def test_probability_bounds(self):
+        assert check_probability(0.5, "p") == 0.5
+        with pytest.raises(ValidationError):
+            check_probability(1.5, "p")
+        with pytest.raises(ValidationError):
+            check_probability(-0.1, "p")
+
+    def test_check_finite_passes_through(self):
+        array = np.array([1.0, 2.0])
+        assert check_finite(array, "a") is array
