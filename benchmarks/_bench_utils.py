@@ -10,6 +10,7 @@ contains the full reproduction record.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -24,3 +25,16 @@ def emit_table(name: str, text: str) -> None:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     EMITTED.append((name, text))
+
+
+def emit_json(name: str, payload: dict) -> None:
+    """Persist a machine-readable result and queue a summary of it.
+
+    Writes ``results/<name>.json`` and registers a pretty-printed copy
+    with the session summary, so JSON benchmarks appear in tee'd logs
+    alongside the figure tables.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    (RESULTS_DIR / f"{name}.json").write_text(text + "\n")
+    EMITTED.append((name, f"{name}:\n{text}"))

@@ -23,6 +23,10 @@ Quickstart
 True
 """
 
+#: Package version (kept in sync with pyproject.toml); participates in
+#: engine cache keys so upgrading invalidates previously cached results.
+__version__ = "0.1.0"
+
 from repro.core.defense import DesignedNoise, NoiseDesigner, design_noise_spectrum
 from repro.core.pipeline import (
     AttackOutcome,

@@ -3,11 +3,18 @@
 Usage (after ``pip install -e .``)::
 
     repro figure1                     # Figure 1 at default scale
+    repro figure1 --jobs 4            # parallel across 4 worker processes
     repro figure4 --trials 3          # average 3 runs per sweep point
     repro figure2 --plot              # add an ASCII line chart
     repro theorem52                   # Theorem 5.2 numeric check
     repro ablation-selection          # DESIGN.md ablations A2-A6
     python -m repro figure2           # module form
+
+Every experiment executes through :mod:`repro.engine`.  ``--jobs N``
+selects the process-pool backend (``0`` = autodetect); results are
+bit-identical for any worker count.  Completed jobs are cached on disk
+(``--cache-dir``, default ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``) so
+rerunning a sweep skips finished work; ``--no-cache`` disables that.
 
 Output is the same text table the benchmark harness prints (plus an
 optional terminal plot).
@@ -18,6 +25,14 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.engine import (
+    Engine,
+    ParallelExecutor,
+    ProgressReporter,
+    ResultCache,
+    SerialExecutor,
+    ThroughputReporter,
+)
 from repro.experiments.ablations import (
     run_ablation_covariance,
     run_ablation_marginals,
@@ -85,6 +100,40 @@ _ABLATIONS = {
 }
 
 
+def _worker_count(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be >= 0 (0 = autodetect), got {value}"
+        )
+    return value
+
+
+def _add_engine_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--jobs",
+        type=_worker_count,
+        default=1,
+        help=(
+            "worker processes (1 = in-process serial, 0 = autodetect "
+            "CPU count); results are identical for any value"
+        ),
+    )
+    sub.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
+    sub.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "result-cache directory (default $REPRO_CACHE_DIR or "
+            "~/.cache/repro)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -126,26 +175,47 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="also draw the series as an ASCII line chart",
         )
+        _add_engine_arguments(sub)
     for name, (_, help_text) in _ABLATIONS.items():
         sub = subparsers.add_parser(name, help=help_text)
         sub.add_argument("--plot", action="store_true",
                          help="also draw an ASCII line chart")
-    subparsers.add_parser(
+        _add_engine_arguments(sub)
+    sub = subparsers.add_parser(
         "theorem52", help="verify Theorem 5.2 numerically"
     )
+    _add_engine_arguments(sub)
     return parser
+
+
+def _engine_from_args(args) -> Engine:
+    """Build the execution engine the selected flags describe."""
+    jobs = getattr(args, "jobs", 1)
+    if jobs == 1:
+        executor = SerialExecutor()
+    else:
+        executor = ParallelExecutor(workers=jobs)
+    cache = None
+    if not getattr(args, "no_cache", False):
+        cache = ResultCache(getattr(args, "cache_dir", None))
+    if sys.stderr.isatty():
+        progress = ThroughputReporter()
+    else:
+        progress = ProgressReporter()
+    return Engine(executor=executor, cache=cache, progress=progress)
 
 
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    engine = _engine_from_args(args)
 
     if args.experiment == "theorem52":
-        series = run_theorem52_verification()
+        series = run_theorem52_verification(engine=engine)
     elif args.experiment in _ABLATIONS:
         runner, _ = _ABLATIONS[args.experiment]
-        series = runner()
+        series = runner(engine=engine)
     else:
         runner, _ = _FIGURES[args.experiment]
         config = SweepConfig(
@@ -154,7 +224,7 @@ def main(argv=None) -> int:
             n_trials=args.trials,
             seed=args.seed,
         )
-        series = runner(config)
+        series = runner(config, engine=engine)
     print(render_series(series))
     if getattr(args, "plot", False):
         print()

@@ -32,17 +32,28 @@ class AttackOutcome:
         Attack label (the key used in the attack battery).
     rmse:
         Root mean square reconstruction error — the paper's privacy
-        number (lower = less privacy).
+        number (lower = less privacy).  ``nan`` for a failed attack.
     attribute_rmse:
-        Per-attribute breakdown, shape ``(m,)``.
+        Per-attribute breakdown, shape ``(m,)`` (all-``nan`` on failure).
     result:
-        The full :class:`ReconstructionResult` with method diagnostics.
+        The full :class:`ReconstructionResult` with method diagnostics,
+        or ``None`` when the attack raised.
+    error:
+        ``None`` on success; otherwise ``"ExceptionType: message"`` for
+        the exception the attack raised (recorded instead of aborting
+        when :func:`evaluate_attacks` runs with ``fail_fast=False``).
     """
 
     name: str
     rmse: float
     attribute_rmse: np.ndarray
-    result: ReconstructionResult
+    result: ReconstructionResult | None
+    error: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        """True when the attack raised instead of reconstructing."""
+        return self.error is not None
 
 
 @dataclass(frozen=True)
@@ -65,8 +76,24 @@ class PipelineReport:
 
     @property
     def ranking(self) -> list[str]:
-        """Attack names sorted from most to least accurate."""
-        return sorted(self.outcomes, key=lambda name: self.outcomes[name].rmse)
+        """Successful attack names sorted from most to least accurate."""
+        return sorted(
+            (
+                name
+                for name, outcome in self.outcomes.items()
+                if not outcome.failed
+            ),
+            key=lambda name: self.outcomes[name].rmse,
+        )
+
+    @property
+    def failures(self) -> dict[str, str]:
+        """Failed attack names mapped to their recorded error strings."""
+        return {
+            name: outcome.error
+            for name, outcome in self.outcomes.items()
+            if outcome.failed
+        }
 
     def __repr__(self) -> str:
         parts = ", ".join(
@@ -79,16 +106,35 @@ class PipelineReport:
 def evaluate_attacks(
     dataset: DisguisedDataset,
     attacks: dict[str, Reconstructor],
+    *,
+    fail_fast: bool = True,
 ) -> dict[str, AttackOutcome]:
     """Run every attack on a disguised dataset and score it.
 
     Attacks see only the public view; scoring uses the private original.
+
+    With ``fail_fast=False``, an attack that raises does not abort the
+    evaluation: its exception is recorded on the outcome (``error`` set,
+    ``rmse`` nan) and the remaining attacks still run, so one fragile
+    method cannot kill a whole sweep.
     """
     if not attacks:
         raise ConfigurationError("'attacks' must contain at least one attack")
     outcomes: dict[str, AttackOutcome] = {}
     for name, reconstructor in attacks.items():
-        result = reconstructor.reconstruct(dataset)
+        try:
+            result = reconstructor.reconstruct(dataset)
+        except Exception as exc:
+            if fail_fast:
+                raise
+            outcomes[name] = AttackOutcome(
+                name=name,
+                rmse=float("nan"),
+                attribute_rmse=np.full(dataset.n_attributes, np.nan),
+                result=None,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            continue
         outcomes[name] = AttackOutcome(
             name=name,
             rmse=root_mean_square_error(dataset.original, result),
@@ -140,31 +186,61 @@ class AttackPipeline:
         """Names of the configured attacks."""
         return list(self._attacks)
 
-    def run(self, original, rng=None, metadata=None) -> PipelineReport:
+    def run(
+        self, original, rng=None, metadata=None, *, fail_fast: bool = True
+    ) -> PipelineReport:
         """Disguise an original table and evaluate every attack on it.
 
         Parameters
         ----------
         original:
-            The private table — a raw ``(n, m)`` matrix or a
-            :class:`~repro.data.synthetic.SyntheticDataset`.
+            The private table — a raw ``(n, m)`` matrix, a
+            :class:`~repro.data.synthetic.SyntheticDataset`, or an
+            already-disguised :class:`DisguisedDataset` (e.g. replayed
+            from a previous run), in which case no new noise is drawn
+            and the dataset's noise model must match this pipeline's
+            scheme.
         rng:
-            Seed or generator for the noise draw.
+            Seed or generator for the noise draw; ignored for a
+            pre-disguised input.
         metadata:
             Optional sweep-point annotations copied into the report.
+        fail_fast:
+            Passed to :func:`evaluate_attacks`; ``False`` records
+            per-attack exceptions in the report instead of raising.
         """
-        if isinstance(original, SyntheticDataset):
-            table = original.values
+        if isinstance(original, DisguisedDataset):
+            disguised = self._validate_disguised(original)
         else:
-            table = original
-        generator = as_generator(rng)
-        disguised = self._scheme.disguise(table, generator)
-        outcomes = evaluate_attacks(disguised, self._attacks)
+            if isinstance(original, SyntheticDataset):
+                table = original.values
+            else:
+                table = original
+            generator = as_generator(rng)
+            disguised = self._scheme.disguise(table, generator)
+        outcomes = evaluate_attacks(
+            disguised, self._attacks, fail_fast=fail_fast
+        )
         return PipelineReport(
             outcomes=outcomes,
             dataset=disguised,
             metadata=dict(metadata or {}),
         )
+
+    def _validate_disguised(self, dataset: DisguisedDataset) -> DisguisedDataset:
+        """Check a pre-disguised input against the configured scheme."""
+        announced = self._scheme.noise_model(dataset.n_attributes)
+        model = dataset.noise_model
+        if model.family != announced.family or not np.allclose(
+            model.covariance, announced.covariance
+        ):
+            raise ConfigurationError(
+                "pre-disguised dataset's noise model does not match this "
+                f"pipeline's scheme {self._scheme!r}; evaluating attacks "
+                "under a mismatched public noise description would be "
+                "meaningless"
+            )
+        return dataset
 
     def __repr__(self) -> str:
         return (

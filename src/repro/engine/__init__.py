@@ -1,0 +1,138 @@
+"""Parallel experiment engine: jobs, executors, result cache, progress.
+
+This package is the execution layer every figure runner and ablation
+routes through.  Callers describe their sweep as a list of serializable
+:class:`~repro.engine.jobs.JobSpec` objects and hand it to an
+:class:`Engine`, which consults the optional on-disk
+:class:`~repro.engine.cache.ResultCache`, dispatches the misses to a
+:class:`~repro.engine.executor.SerialExecutor` or process-pool
+:class:`~repro.engine.executor.ParallelExecutor`, and returns
+:class:`~repro.engine.jobs.JobResult` objects in spec order.
+
+Determinism contract
+--------------------
+Every job's randomness derives solely from its ``(seed_root,
+seed_path)`` seed coordinates — ``default_rng(SeedSequence(seed_root,
+spawn_key=seed_path))`` — which reproduces the historical
+``spawn_generators`` tree exactly.  Therefore the executor backend,
+worker count, chunking, and execution order never change a result bit,
+and a cached payload is interchangeable with a fresh execution.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.engine.cache import ResultCache, default_cache_dir
+from repro.engine.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    default_worker_count,
+)
+from repro.engine.jobs import (
+    CACHE_VERSION,
+    JobResult,
+    JobSpec,
+    derive_rng,
+    execute_job,
+    resolve_task,
+)
+from repro.engine.progress import ProgressReporter, ThroughputReporter
+from repro.exceptions import JobExecutionError
+
+__all__ = [
+    "CACHE_VERSION",
+    "Engine",
+    "Executor",
+    "JobExecutionError",
+    "JobResult",
+    "JobSpec",
+    "ParallelExecutor",
+    "ProgressReporter",
+    "ResultCache",
+    "SerialExecutor",
+    "ThroughputReporter",
+    "default_cache_dir",
+    "default_worker_count",
+    "derive_rng",
+    "execute_job",
+    "resolve_task",
+]
+
+
+class Engine:
+    """Facade tying an executor, an optional cache, and progress hooks.
+
+    Parameters
+    ----------
+    executor:
+        Backend for cache misses; default :class:`SerialExecutor`, so a
+        bare ``Engine()`` behaves exactly like the historical in-process
+        loops.
+    cache:
+        Optional :class:`ResultCache`; completed jobs found there are
+        returned without executing.
+    progress:
+        Optional :class:`ProgressReporter` receiving start / per-job /
+        finish events (cache hits included).
+    """
+
+    def __init__(
+        self,
+        executor: Executor | None = None,
+        cache: ResultCache | None = None,
+        progress: ProgressReporter | None = None,
+    ):
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.cache = cache
+        self.progress = progress if progress is not None else ProgressReporter()
+
+    def run(self, specs: Sequence[JobSpec]) -> list[JobResult]:
+        """Execute (or recover) every spec; results come back in spec order."""
+        specs = list(specs)
+        total = len(specs)
+        started = time.perf_counter()
+        self.progress.on_start(total)
+
+        results: list[JobResult | None] = [None] * total
+        pending: list[tuple[int, JobSpec]] = []
+        completed = 0
+        cached = 0
+        for index, spec in enumerate(specs):
+            hit = self.cache.get(spec) if self.cache is not None else None
+            if hit is not None:
+                results[index] = hit
+                completed += 1
+                cached += 1
+                self.progress.on_result(hit, completed, total)
+            else:
+                pending.append((index, spec))
+
+        if pending:
+            pending_specs = [spec for _, spec in pending]
+            spec_by_key = {spec.key(): spec for spec in pending_specs}
+
+            def on_done(result: JobResult) -> None:
+                nonlocal completed
+                completed += 1
+                # Persist immediately so a later job failure (or an
+                # interrupt) does not discard work already finished.
+                if self.cache is not None:
+                    self.cache.put(spec_by_key[result.key], result)
+                self.progress.on_result(result, completed, total)
+
+            fresh = self.executor.run(pending_specs, callback=on_done)
+            for (index, _), result in zip(pending, fresh):
+                results[index] = result
+
+        self.progress.on_finish(
+            time.perf_counter() - started, completed, cached
+        )
+        return results  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        return (
+            f"Engine(executor={self.executor!r}, cache={self.cache!r})"
+        )

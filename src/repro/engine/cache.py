@@ -1,0 +1,133 @@
+"""Content-addressed on-disk result cache.
+
+Completed jobs are stored as small JSON files keyed by the SHA-256 of
+their canonical spec (task + params + seed coordinates + cache version,
+see :meth:`repro.engine.jobs.JobSpec.key`).  Because the key covers
+everything that determines a job's output, a hit can be returned without
+re-running the pipeline — repeated sweeps skip all completed jobs, and
+any change to the task name, parameters, seeds, or ``CACHE_VERSION``
+lands on a different key, which is the invalidation story.
+
+Layout: ``<cache_dir>/<key[:2]>/<key>.json`` (two-level fan-out keeps
+directories small for big sweeps).  The default directory is
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+
+from repro.engine.jobs import JobResult, JobSpec
+from repro.exceptions import ValidationError
+
+__all__ = ["default_cache_dir", "ResultCache"]
+
+_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    override = os.environ.get(_ENV_VAR)
+    if override:
+        return pathlib.Path(override).expanduser()
+    return pathlib.Path.home() / ".cache" / "repro"
+
+
+class ResultCache:
+    """Persistent spec-keyed store of :class:`JobResult` payloads.
+
+    Parameters
+    ----------
+    directory:
+        Cache root; created lazily on first write.  ``None`` uses
+        :func:`default_cache_dir`.
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None):
+        self.directory = (
+            pathlib.Path(directory).expanduser()
+            if directory is not None
+            else default_cache_dir()
+        )
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """On-disk location of a key's payload."""
+        if not isinstance(key, str) or len(key) < 8:
+            raise ValidationError(f"malformed cache key: {key!r}")
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, spec: JobSpec) -> JobResult | None:
+        """Return the completed result for a spec, or ``None`` on a miss.
+
+        Corrupt or truncated entries (e.g. from a killed process) are
+        treated as misses and removed so the job simply re-runs.
+        """
+        key = spec.key()
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+            values = payload["values"]
+            duration = float(payload["duration"])
+            if payload["task"] != spec.task or not isinstance(values, dict):
+                raise ValueError("cache entry does not match spec")
+        except FileNotFoundError:
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass  # read-only cache: treat as a plain miss
+            return None
+        return JobResult(key=key, values=values, duration=duration, cached=True)
+
+    def put(self, spec: JobSpec, result: JobResult) -> None:
+        """Persist a freshly executed result (atomic write-then-rename)."""
+        if result.key != spec.key():
+            raise ValidationError(
+                "result key does not match spec key; refusing to poison "
+                "the cache"
+            )
+        path = self.path_for(result.key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "task": spec.task,
+            "params": spec.params,
+            "seed_root": spec.seed_root,
+            "seed_path": list(spec.seed_path),
+            "values": result.values,
+            "duration": result.duration,
+        }
+        handle, temp_name = tempfile.mkstemp(
+            dir=path.parent, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(payload, stream)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        if not self.directory.exists():
+            return removed
+        for path in self.directory.glob("??/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.exists():
+            return 0
+        return sum(1 for _ in self.directory.glob("??/*.json"))
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.directory)!r})"

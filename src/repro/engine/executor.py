@@ -1,0 +1,159 @@
+"""Executors: serial and process-pool backends behind one interface.
+
+An executor turns a list of :class:`~repro.engine.jobs.JobSpec` into the
+matching list of :class:`~repro.engine.jobs.JobResult`, order-preserving.
+Because every job derives its randomness from ``(seed_root, seed_path)``
+alone (see :mod:`repro.engine.jobs`), the backend choice changes only
+wall-clock time — ``ParallelExecutor(workers=N)`` is bit-identical to
+``SerialExecutor`` for any ``N``.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from concurrent.futures import ProcessPoolExecutor as _ProcessPool
+from concurrent.futures import as_completed
+from typing import Callable, Sequence
+
+from repro.engine.jobs import JobResult, JobSpec, execute_job
+from repro.exceptions import ValidationError
+
+__all__ = ["Executor", "SerialExecutor", "ParallelExecutor", "default_worker_count"]
+
+
+def _execute_chunk(specs: list[JobSpec]) -> list[JobResult]:
+    """Worker-side batch loop (module-level so the pool can pickle it)."""
+    return [execute_job(spec) for spec in specs]
+
+
+def default_worker_count() -> int:
+    """Autodetected worker count: the CPUs this process may use."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # non-Linux platforms
+        return max(1, os.cpu_count() or 1)
+
+
+class Executor(abc.ABC):
+    """Executes job specs, preserving input order in the results.
+
+    Parameters of :meth:`run`:
+
+    ``specs``
+        The jobs to execute.
+    ``callback``
+        Optional ``callback(result)`` invoked once per finished job —
+        the progress-reporting and cache-write hook.  The parallel
+        backend fires it as dispatch chunks complete (not in spec
+        order), so finished work is observed — and cacheable — even
+        while other jobs are still running or about to fail.
+
+    Failure propagation: the first failing job raises
+    :class:`~repro.exceptions.JobExecutionError` out of :meth:`run`
+    (remaining jobs may or may not have run).
+    """
+
+    @abc.abstractmethod
+    def run(
+        self,
+        specs: Sequence[JobSpec],
+        callback: Callable[[JobResult], None] | None = None,
+    ) -> list[JobResult]:
+        """Execute every spec and return results in spec order."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(Executor):
+    """In-process, one-at-a-time execution — the reference backend."""
+
+    def run(self, specs, callback=None):
+        results = []
+        for spec in specs:
+            result = execute_job(spec)
+            if callback is not None:
+                callback(result)
+            results.append(result)
+        return results
+
+
+class ParallelExecutor(Executor):
+    """``ProcessPoolExecutor``-backed execution with chunked dispatch.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``None`` or ``0`` autodetects via
+        :func:`default_worker_count`.
+    chunk_size:
+        Specs per dispatch batch; ``None`` picks ``ceil(n / (4 *
+        workers))`` capped at 16 — enough batching to amortize IPC,
+        small enough to keep the pool busy near the end of a sweep.
+
+    On failure, every chunk that completed is still delivered to the
+    callback before the first error re-raises; only the failing chunk's
+    own jobs are lost.
+    """
+
+    def __init__(self, workers: int | None = None, chunk_size: int | None = None):
+        if workers is None or workers == 0:
+            workers = default_worker_count()
+        if not isinstance(workers, int) or workers < 1:
+            raise ValidationError(
+                f"workers must be a positive int (or None/0 for auto), "
+                f"got {workers!r}"
+            )
+        if chunk_size is not None and (
+            not isinstance(chunk_size, int) or chunk_size < 1
+        ):
+            raise ValidationError(
+                f"chunk_size must be a positive int or None, got {chunk_size!r}"
+            )
+        self.workers = workers
+        self.chunk_size = chunk_size
+
+    def _chunk_for(self, n_jobs: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, min(16, -(-n_jobs // (4 * self.workers))))
+
+    def run(self, specs, callback=None):
+        specs = list(specs)
+        if not specs:
+            return []
+        if len(specs) == 1 or self.workers == 1:
+            # Not worth a pool; the serial path is bit-identical anyway.
+            return SerialExecutor().run(specs, callback)
+        chunk = self._chunk_for(len(specs))
+        chunks = [specs[i:i + chunk] for i in range(0, len(specs), chunk)]
+        chunk_results: list[list[JobResult] | None] = [None] * len(chunks)
+        first_error: Exception | None = None
+        with _ProcessPool(max_workers=min(self.workers, len(chunks))) as pool:
+            futures = {
+                pool.submit(_execute_chunk, batch): index
+                for index, batch in enumerate(chunks)
+            }
+            # Harvest in completion order so every finished chunk reaches
+            # the callback (and thus the cache) even when another chunk
+            # fails; the failure is re-raised only after the drain.
+            for future in as_completed(futures):
+                try:
+                    batch_results = future.result()
+                except Exception as exc:
+                    if first_error is None:
+                        first_error = exc
+                    continue
+                chunk_results[futures[future]] = batch_results
+                if callback is not None:
+                    for result in batch_results:
+                        callback(result)
+        if first_error is not None:
+            raise first_error
+        return [
+            result for batch in chunk_results for result in batch  # type: ignore[union-attr]
+        ]
+
+    def __repr__(self) -> str:
+        return f"ParallelExecutor(workers={self.workers})"

@@ -16,6 +16,7 @@ __all__ = [
     "ConvergenceError",
     "SpectrumError",
     "ConfigurationError",
+    "JobExecutionError",
 ]
 
 
@@ -69,3 +70,11 @@ class SpectrumError(ValidationError):
 
 class ConfigurationError(ReproError, ValueError):
     """An experiment or scheme configuration is inconsistent."""
+
+
+class JobExecutionError(ReproError, RuntimeError):
+    """A job failed inside an engine executor.
+
+    Carries only a flat message (task name, job key prefix, and the
+    original error) so it survives pickling across process boundaries.
+    """

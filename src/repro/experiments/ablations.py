@@ -6,30 +6,23 @@ Theorem-5.1 estimate costs vs the true covariance, how sample size and
 non-normal marginals move the results, and whether disguised data stays
 minable.  Each returns an :class:`ExperimentSeries` like the figure
 runners, so the same reporting and benchmark plumbing applies.
+
+Like the figure runners, every ablation expands into engine jobs (one
+per workload / sample size / scheme / marginal shape) executed through
+:class:`~repro.engine.Engine`.  The ablations keep their historical
+explicit integer seeding: each job carries its seeds in ``params`` and
+is therefore bit-identical to the old in-process loops under any
+executor backend.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.pipeline import AttackPipeline
-from repro.data.copula import GaussianCopulaGenerator
 from repro.data.spectra import decaying_spectrum, two_level_spectrum
-from repro.data.synthetic import generate_dataset
+from repro.engine import Engine, JobSpec
 from repro.exceptions import ConfigurationError
 from repro.experiments.config import ExperimentSeries
-from repro.metrics.error import root_mean_square_error
-from repro.mining.naive_bayes import utility_report
-from repro.randomization.additive import AdditiveNoiseScheme
-from repro.randomization.correlated import CorrelatedNoiseScheme
-from repro.reconstruction.bedr import BayesEstimateReconstructor
-from repro.reconstruction.pca_dr import PCAReconstructor
-from repro.reconstruction.selection import (
-    EnergyFractionSelector,
-    FixedCountSelector,
-    LargestGapSelector,
-)
-from repro.reconstruction.udr import UnivariateReconstructor
 
 __all__ = [
     "run_ablation_selection",
@@ -39,6 +32,26 @@ __all__ = [
     "run_ablation_marginals",
 ]
 
+_SELECTION_TASK = "repro.experiments.tasks:ablation_selection_workload"
+_COVARIANCE_TASK = "repro.experiments.tasks:ablation_covariance_point"
+_SAMPLESIZE_TASK = "repro.experiments.tasks:ablation_samplesize_point"
+_UTILITY_TASK = "repro.experiments.tasks:ablation_utility_scheme"
+_MARGINALS_TASK = "repro.experiments.tasks:ablation_marginals_shape"
+
+
+def _rmse_curves(results) -> dict[str, list[float]]:
+    """Collect per-method curves from engine payloads.
+
+    Method names (and their order) come from the task's own payload, so
+    runners cannot drift out of sync with the attack batteries built in
+    :mod:`repro.experiments.tasks`.
+    """
+    names = list(results[0].values["rmse"])
+    return {
+        name: [result.values["rmse"][name] for result in results]
+        for name in names
+    }
+
 
 def run_ablation_selection(
     *,
@@ -47,6 +60,7 @@ def run_ablation_selection(
     n_records: int = 2000,
     noise_std: float = 5.0,
     seed: int = 42,
+    engine: Engine | None = None,
 ) -> ExperimentSeries:
     """A2 — PCA-DR component-selection rules across spectrum shapes.
 
@@ -54,11 +68,7 @@ def run_ablation_selection(
     paper's choice) on a clean two-level spectrum and on a geometric
     decay with no gap to find.
     """
-    selectors = {
-        f"oracle-fixed({n_principal})": FixedCountSelector(n_principal),
-        "energy(0.95)": EnergyFractionSelector(0.95),
-        "largest-gap": LargestGapSelector(),
-    }
+    engine = engine or Engine()
     workloads = {
         f"two-level(m={n_attributes},p={n_principal})": two_level_spectrum(
             n_attributes,
@@ -70,18 +80,22 @@ def run_ablation_selection(
             n_attributes, decay=0.9, total_variance=100.0 * n_attributes
         ),
     }
-    pipeline = AttackPipeline(
-        AdditiveNoiseScheme(std=noise_std),
-        {name: PCAReconstructor(sel) for name, sel in selectors.items()},
-    )
-    curves = {name: [] for name in selectors}
-    for index, spectrum in enumerate(workloads.values()):
-        dataset = generate_dataset(
-            spectrum=spectrum, n_records=n_records, rng=seed + index
+    specs = [
+        JobSpec(
+            task=_SELECTION_TASK,
+            params={
+                "spectrum": np.asarray(spectrum).tolist(),
+                "n_principal": n_principal,
+                "n_records": n_records,
+                "noise_std": noise_std,
+                "data_seed": seed + index,
+                "attack_seed": seed + 100 + index,
+            },
         )
-        report = pipeline.run(dataset, rng=seed + 100 + index)
-        for name in selectors:
-            curves[name].append(report.rmse(name))
+        for index, spectrum in enumerate(workloads.values())
+    ]
+    results = engine.run(specs)
+    curves = _rmse_curves(results)
     return ExperimentSeries(
         name="ablation-selection",
         x_label="workload (0=two-level, 1=decaying)",
@@ -98,44 +112,34 @@ def run_ablation_covariance(
     n_principal: int = 5,
     noise_std: float = 5.0,
     seed: int = 42,
+    engine: Engine | None = None,
 ) -> ExperimentSeries:
     """A3 — Theorem-5.1 estimated covariance vs the oracle, across n."""
     sizes = [int(n) for n in sample_sizes]
     if not sizes:
         raise ConfigurationError("'sample_sizes' must be non-empty")
+    engine = engine or Engine()
     spectrum = two_level_spectrum(
         n_attributes,
         n_principal,
         total_variance=100.0 * n_attributes,
         non_principal_value=4.0,
     )
-    scheme = AdditiveNoiseScheme(std=noise_std)
-    curves = {
-        "PCA-estimated": [],
-        "PCA-oracle": [],
-        "BE-estimated": [],
-        "BE-oracle": [],
-    }
-    for index, n in enumerate(sizes):
-        dataset = generate_dataset(
-            spectrum=spectrum, n_records=n, rng=seed + index
+    specs = [
+        JobSpec(
+            task=_COVARIANCE_TASK,
+            params={
+                "spectrum": np.asarray(spectrum).tolist(),
+                "n_records": n,
+                "noise_std": noise_std,
+                "data_seed": seed + index,
+                "noise_seed": seed + 50 + index,
+            },
         )
-        disguised = scheme.disguise(dataset.values, rng=seed + 50 + index)
-        oracle_cov = dataset.population_covariance
-        attacks = {
-            "PCA-estimated": PCAReconstructor(),
-            "PCA-oracle": PCAReconstructor(oracle_covariance=oracle_cov),
-            "BE-estimated": BayesEstimateReconstructor(),
-            "BE-oracle": BayesEstimateReconstructor(
-                oracle_covariance=oracle_cov, oracle_mean=dataset.mean
-            ),
-        }
-        for name, attack in attacks.items():
-            curves[name].append(
-                root_mean_square_error(
-                    dataset.values, attack.reconstruct(disguised)
-                )
-            )
+        for index, n in enumerate(sizes)
+    ]
+    results = engine.run(specs)
+    curves = _rmse_curves(results)
     return ExperimentSeries(
         name="ablation-covariance",
         x_label="records (n)",
@@ -156,33 +160,34 @@ def run_ablation_samplesize(
     n_principal: int = 5,
     noise_std: float = 5.0,
     seed: int = 42,
+    engine: Engine | None = None,
 ) -> ExperimentSeries:
     """A4 — attack accuracy vs the number of published records."""
     sizes = [int(n) for n in sample_sizes]
     if not sizes:
         raise ConfigurationError("'sample_sizes' must be non-empty")
+    engine = engine or Engine()
     spectrum = two_level_spectrum(
         n_attributes,
         n_principal,
         total_variance=100.0 * n_attributes,
         non_principal_value=4.0,
     )
-    pipeline = AttackPipeline(
-        AdditiveNoiseScheme(std=noise_std),
-        {
-            "UDR": UnivariateReconstructor(),
-            "PCA-DR": PCAReconstructor(),
-            "BE-DR": BayesEstimateReconstructor(),
-        },
-    )
-    curves = {name: [] for name in pipeline.attack_names}
-    for index, n in enumerate(sizes):
-        dataset = generate_dataset(
-            spectrum=spectrum, n_records=n, rng=seed + index
+    specs = [
+        JobSpec(
+            task=_SAMPLESIZE_TASK,
+            params={
+                "spectrum": np.asarray(spectrum).tolist(),
+                "n_records": n,
+                "noise_std": noise_std,
+                "data_seed": seed + index,
+                "attack_seed": seed + 10 + index,
+            },
         )
-        report = pipeline.run(dataset, rng=seed + 10 + index)
-        for name in curves:
-            curves[name].append(report.rmse(name))
+        for index, n in enumerate(sizes)
+    ]
+    results = engine.run(specs)
+    curves = _rmse_curves(results)
     return ExperimentSeries(
         name="ablation-samplesize",
         x_label="records (n)",
@@ -203,59 +208,35 @@ def run_ablation_utility(
     n_attributes: int = 8,
     noise_std: float = 4.0,
     seed: int = 0,
+    engine: Engine | None = None,
 ) -> ExperimentSeries:
     """A5 — naive-Bayes utility under the baseline and improved schemes."""
-    from repro.data.covariance_builder import CovarianceModel
-    from repro.stats.mvn import MultivariateNormal
-
-    def classed_data(n, data_seed):
-        rng = np.random.default_rng(data_seed)
-        model = CovarianceModel.from_spectrum(
-            np.sort(rng.uniform(2.0, 40.0, n_attributes))[::-1],
-            rng=data_seed,
+    engine = engine or Engine()
+    scheme_names = ["iid", "correlated"]
+    specs = [
+        JobSpec(
+            task=_UTILITY_TASK,
+            params={
+                "scheme": scheme,
+                "scheme_index": index,
+                "n_train": n_train,
+                "n_test": n_test,
+                "n_attributes": n_attributes,
+                "noise_std": noise_std,
+                "seed": seed,
+            },
         )
-        half = n // 2
-        offset = np.full(n_attributes, 6.0)
-        class0 = MultivariateNormal(
-            np.zeros(n_attributes), model.matrix
-        ).sample(half, rng=rng)
-        class1 = MultivariateNormal(offset, model.matrix).sample(
-            half, rng=rng
-        )
-        features = np.vstack([class0, class1])
-        labels = np.array([0] * half + [1] * half)
-        order = rng.permutation(n)
-        return features[order], labels[order], model
-
-    train_x, train_y, model = classed_data(n_train, seed)
-    test_x, test_y, _ = classed_data(n_test, seed + 99)
-    schemes = {
-        "iid": AdditiveNoiseScheme(std=noise_std),
-        "correlated": CorrelatedNoiseScheme.matching_data_covariance(
-            model.matrix, noise_power=n_attributes * noise_std**2
-        ),
-    }
+        for index, scheme in enumerate(scheme_names)
+    ]
+    results = engine.run(specs)
     rows = {
-        "original": [],
-        "disguised_naive": [],
-        "disguised_corrected": [],
+        key: [result.values[key] for result in results]
+        for key in ("original", "disguised_naive", "disguised_corrected")
     }
-    for index, scheme in enumerate(schemes.values()):
-        disguised = scheme.disguise(train_x, rng=seed + index + 1)
-        report = utility_report(
-            train_x,
-            disguised.disguised,
-            train_y,
-            test_x,
-            test_y,
-            noise_covariance=disguised.noise_model.covariance,
-        )
-        for key in rows:
-            rows[key].append(report[key])
     return ExperimentSeries(
         name="ablation-utility",
         x_label="scheme (0=iid, 1=correlated)",
-        x_values=np.arange(len(schemes), dtype=float),
+        x_values=np.arange(len(scheme_names), dtype=float),
         series=rows,
         metadata={"noise_std": noise_std, "m": n_attributes},
     )
@@ -269,6 +250,7 @@ def run_ablation_marginals(
     n_records: int = 2000,
     noise_std: float = 5.0,
     seed: int = 11,
+    engine: Engine | None = None,
 ) -> ExperimentSeries:
     """A6 — non-normal marginals (Section 6's normality assumption).
 
@@ -280,32 +262,30 @@ def run_ablation_marginals(
     shapes = list(marginals)
     if not shapes:
         raise ConfigurationError("'marginals' must be non-empty")
+    engine = engine or Engine()
     spectrum = two_level_spectrum(
         n_attributes,
         n_principal,
         total_variance=float(n_attributes),
         non_principal_value=0.04,
     )
-    pipeline = AttackPipeline(
-        AdditiveNoiseScheme(std=noise_std),
-        {
-            "UDR": UnivariateReconstructor(),
-            "PCA-DR": PCAReconstructor(),
-            "BE-DR": BayesEstimateReconstructor(),
-        },
-    )
-    curves = {name: [] for name in pipeline.attack_names}
-    for index, shape in enumerate(shapes):
-        generator = GaussianCopulaGenerator.from_spectrum(
-            spectrum,
-            marginal=shape,
-            target_std=10.0,
-            rng=seed,
+    specs = [
+        JobSpec(
+            task=_MARGINALS_TASK,
+            params={
+                "spectrum": np.asarray(spectrum).tolist(),
+                "marginal": shape,
+                "n_records": n_records,
+                "noise_std": noise_std,
+                "copula_seed": seed,
+                "sample_seed": seed + index + 1,
+                "attack_seed": seed + 50 + index,
+            },
         )
-        table = generator.sample(n_records, rng=seed + index + 1)
-        report = pipeline.run(table, rng=seed + 50 + index)
-        for name in curves:
-            curves[name].append(report.rmse(name))
+        for index, shape in enumerate(shapes)
+    ]
+    results = engine.run(specs)
+    curves = _rmse_curves(results)
     return ExperimentSeries(
         name="ablation-marginals",
         x_label="marginal shape index",

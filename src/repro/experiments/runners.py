@@ -4,26 +4,25 @@ Each runner reproduces one experiment's sweep exactly as Section 7 / 8.2
 describes it, averaging over ``config.n_trials`` independent datasets per
 sweep point, and returns an :class:`ExperimentSeries` with one RMSE curve
 per attack.
+
+Execution goes through :mod:`repro.engine`: a runner expands its sweep
+into one :class:`~repro.engine.jobs.JobSpec` per (sweep-point, trial),
+hands the list to an :class:`~repro.engine.Engine`, and aggregates the
+returned payloads.  Every job derives its generator from ``(config.seed,
+(point_index, trial_index))`` — the same ``spawn_generators`` tree the
+historical serial loops used — so any executor backend, worker count, or
+cached rerun produces bit-identical series, and extending a sweep never
+changes existing points.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.defense import NoiseDesigner
-from repro.core.pipeline import AttackPipeline
 from repro.data.spectra import two_level_spectrum
-from repro.data.synthetic import generate_dataset
+from repro.engine import Engine, JobSpec
 from repro.exceptions import ConfigurationError
 from repro.experiments.config import ExperimentSeries, SweepConfig
-from repro.randomization.additive import AdditiveNoiseScheme
-from repro.reconstruction.bedr import BayesEstimateReconstructor
-from repro.reconstruction.pca_dr import PCAReconstructor
-from repro.reconstruction.spectral_filtering import (
-    SpectralFilteringReconstructor,
-)
-from repro.reconstruction.udr import UnivariateReconstructor
-from repro.utils.rng import spawn_generators
 
 __all__ = [
     "run_experiment1_attributes",
@@ -36,14 +35,9 @@ __all__ = [
 #: Attack battery of Experiments 1-3 (the four curves of Figures 1-3).
 _FIGURE_METHODS = ("UDR", "SF", "PCA-DR", "BE-DR")
 
-
-def _standard_attacks() -> dict:
-    return {
-        "UDR": UnivariateReconstructor(prior="gaussian"),
-        "SF": SpectralFilteringReconstructor(),
-        "PCA-DR": PCAReconstructor(),
-        "BE-DR": BayesEstimateReconstructor(),
-    }
+_TWO_LEVEL_TASK = "repro.experiments.tasks:two_level_trial"
+_CORRELATED_TASK = "repro.experiments.tasks:correlated_noise_trial"
+_THEOREM52_TASK = "repro.experiments.tasks:theorem52_check"
 
 
 def _run_two_level_sweep(
@@ -52,28 +46,37 @@ def _run_two_level_sweep(
     sweep_points,
     spectrum_for_point,
     config: SweepConfig,
+    engine: Engine | None = None,
 ) -> ExperimentSeries:
-    """Shared loop for Experiments 1-3 (i.i.d. noise, two-level spectra)."""
+    """Shared sweep for Experiments 1-3 (i.i.d. noise, two-level spectra)."""
     points = list(sweep_points)
     if not points:
         raise ConfigurationError("sweep has no points")
-    scheme = AdditiveNoiseScheme(config.noise_std)
-    pipeline = AttackPipeline(scheme, _standard_attacks())
-    point_rngs = spawn_generators(config.seed, len(points))
+    engine = engine or Engine()
+
+    specs = []
+    for index, point in enumerate(points):
+        spectrum = np.asarray(spectrum_for_point(point), dtype=np.float64)
+        for trial in range(config.n_trials):
+            specs.append(
+                JobSpec(
+                    task=_TWO_LEVEL_TASK,
+                    params={
+                        "spectrum": spectrum.tolist(),
+                        "n_records": config.n_records,
+                        "noise_std": config.noise_std,
+                    },
+                    seed_root=config.seed,
+                    seed_path=(index, trial),
+                )
+            )
+    results = engine.run(specs)
 
     curves = {method: np.zeros(len(points)) for method in _FIGURE_METHODS}
-    for index, point in enumerate(points):
-        spectrum = spectrum_for_point(point)
-        trial_rngs = point_rngs[index].spawn(config.n_trials)
-        for trial_rng in trial_rngs:
-            dataset = generate_dataset(
-                spectrum=spectrum,
-                n_records=config.n_records,
-                rng=trial_rng,
-            )
-            report = pipeline.run(dataset, rng=trial_rng)
-            for method in _FIGURE_METHODS:
-                curves[method][index] += report.rmse(method)
+    for job_index, result in enumerate(results):
+        point_index = job_index // config.n_trials
+        for method in _FIGURE_METHODS:
+            curves[method][point_index] += result.values["rmse"][method]
     for method in _FIGURE_METHODS:
         curves[method] /= config.n_trials
 
@@ -95,6 +98,7 @@ def run_experiment1_attributes(
     *,
     attribute_counts=None,
     n_principal: int = 5,
+    engine: Engine | None = None,
 ) -> ExperimentSeries:
     """Experiment 1 / Figure 1: RMSE vs the number of attributes ``m``.
 
@@ -131,6 +135,7 @@ def run_experiment1_attributes(
         counts,
         spectrum_for,
         config,
+        engine,
     )
     series.metadata["n_principal"] = n_principal
     return series
@@ -141,6 +146,7 @@ def run_experiment2_principal_components(
     *,
     principal_counts=None,
     n_attributes: int = 100,
+    engine: Engine | None = None,
 ) -> ExperimentSeries:
     """Experiment 2 / Figure 2: RMSE vs the number of principals ``p``.
 
@@ -171,6 +177,7 @@ def run_experiment2_principal_components(
         counts,
         spectrum_for,
         config,
+        engine,
     )
     series.metadata["n_attributes"] = n_attributes
     return series
@@ -183,6 +190,7 @@ def run_experiment3_nonprincipal_eigenvalues(
     n_attributes: int = 100,
     n_principal: int = 20,
     principal_value: float = 400.0,
+    engine: Engine | None = None,
 ) -> ExperimentSeries:
     """Experiment 3 / Figure 3: RMSE vs the non-principal eigenvalue.
 
@@ -215,6 +223,7 @@ def run_experiment3_nonprincipal_eigenvalues(
         values,
         spectrum_for,
         config,
+        engine,
     )
     series.metadata.update(
         {
@@ -232,6 +241,7 @@ def run_experiment4_correlated_noise(
     profiles=None,
     n_attributes: int = 100,
     n_principal: int = 50,
+    engine: Engine | None = None,
 ) -> ExperimentSeries:
     """Experiment 4 / Figure 4: the correlated-noise defense (Section 8.2).
 
@@ -249,6 +259,7 @@ def run_experiment4_correlated_noise(
     if profiles is None:
         profiles = [0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0]
     profile_values = [float(t) for t in profiles]
+    engine = engine or Engine()
     noise_power = n_attributes * config.noise_std**2
     trace = config.trace_for(n_attributes)
     spectrum = two_level_spectrum(
@@ -257,36 +268,36 @@ def run_experiment4_correlated_noise(
         total_variance=trace,
         non_principal_value=config.non_principal_value,
     )
-    attacks = {
-        "SF": SpectralFilteringReconstructor(),
-        "PCA-DR": PCAReconstructor(),
-        "BE-DR": BayesEstimateReconstructor(),
-    }
-    methods = list(attacks)
-    point_rngs = spawn_generators(config.seed, len(profile_values))
+    methods = ["SF", "PCA-DR", "BE-DR"]
+
+    specs = []
+    for index, profile in enumerate(profile_values):
+        for trial in range(config.n_trials):
+            specs.append(
+                JobSpec(
+                    task=_CORRELATED_TASK,
+                    params={
+                        "spectrum": np.asarray(spectrum).tolist(),
+                        "n_records": config.n_records,
+                        "noise_power": noise_power,
+                        "profile": profile,
+                    },
+                    seed_root=config.seed,
+                    seed_path=(index, trial),
+                )
+            )
+    results = engine.run(specs)
 
     curves = {method: np.zeros(len(profile_values)) for method in methods}
     dissimilarities = np.zeros(len(profile_values))
-    for index, profile in enumerate(profile_values):
-        trial_rngs = point_rngs[index].spawn(config.n_trials)
-        for trial_rng in trial_rngs:
-            dataset = generate_dataset(
-                spectrum=spectrum,
-                n_records=config.n_records,
-                rng=trial_rng,
-            )
-            designer = NoiseDesigner(
-                dataset.covariance_model, noise_power=noise_power
-            )
-            designed = designer.design(profile)
-            pipeline = AttackPipeline(designed.scheme, attacks)
-            report = pipeline.run(dataset, rng=trial_rng)
-            dissimilarities[index] += designed.dissimilarity
-            for method in methods:
-                curves[method][index] += report.rmse(method)
-        dissimilarities[index] /= config.n_trials
+    for job_index, result in enumerate(results):
+        point_index = job_index // config.n_trials
+        dissimilarities[point_index] += result.values["dissimilarity"]
         for method in methods:
-            curves[method][index] /= config.n_trials
+            curves[method][point_index] += result.values["rmse"][method]
+    dissimilarities /= config.n_trials
+    for method in methods:
+        curves[method] /= config.n_trials
 
     return ExperimentSeries(
         name="figure4",
@@ -312,38 +323,44 @@ def run_theorem52_verification(
     noise_std: float = 5.0,
     n_records: int = 5000,
     seed: int = 52,
+    engine: Engine | None = None,
 ) -> ExperimentSeries:
     """Empirical check of Theorem 5.2: ``mean_square(R Q_p Q_p^T) = sigma^2 p/m``.
 
     Draws i.i.d. noise, projects it onto the top-``p`` eigenvectors of a
     random orthogonal basis, and compares the surviving energy to the
-    analytic ``sigma^2 * p / m``.
+    analytic ``sigma^2 * p / m``.  Runs as a single engine job whose
+    generator is the root ``SeedSequence(seed)`` — identical to the
+    historical direct computation.
     """
-    from repro.linalg.gram_schmidt import random_orthogonal
-    from repro.utils.rng import as_generator
-
-    generator = as_generator(seed)
-    basis = random_orthogonal(n_attributes, generator)
-    noise = generator.normal(0.0, noise_std, size=(n_records, n_attributes))
-
     counts = [int(p) for p in component_counts]
-    empirical = np.zeros(len(counts))
-    analytic = np.zeros(len(counts))
-    for index, p in enumerate(counts):
+    for p in counts:
         if not 1 <= p <= n_attributes:
             raise ConfigurationError(
                 f"component counts must lie in [1, {n_attributes}]"
             )
-        q = basis[:, :p]
-        projected = noise @ q @ q.T
-        empirical[index] = float(np.mean(projected**2))
-        analytic[index] = noise_std**2 * p / n_attributes
+    engine = engine or Engine()
+    spec = JobSpec(
+        task=_THEOREM52_TASK,
+        params={
+            "n_attributes": n_attributes,
+            "component_counts": counts,
+            "noise_std": noise_std,
+            "n_records": n_records,
+        },
+        seed_root=seed,
+        seed_path=(),
+    )
+    (result,) = engine.run([spec])
 
     return ExperimentSeries(
         name="theorem52",
         x_label="number of principal components (p)",
         x_values=np.asarray(counts, dtype=np.float64),
-        series={"empirical": empirical, "analytic": analytic},
+        series={
+            "empirical": np.asarray(result.values["empirical"]),
+            "analytic": np.asarray(result.values["analytic"]),
+        },
         metadata={
             "n_attributes": n_attributes,
             "noise_std": noise_std,

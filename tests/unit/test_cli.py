@@ -15,6 +15,9 @@ class TestParser:
         assert args.experiment == "figure1"
         assert args.records == 2000
         assert args.trials == 1
+        assert args.jobs == 1
+        assert args.no_cache is False
+        assert args.cache_dir is None
 
     def test_overrides(self):
         args = build_parser().parse_args(
@@ -24,9 +27,18 @@ class TestParser:
         assert args.trials == 2
         assert args.seed == 9
 
+    def test_engine_flags(self):
+        args = build_parser().parse_args(
+            ["figure1", "--jobs", "4", "--no-cache", "--cache-dir", "/tmp/x"]
+        )
+        assert args.jobs == 4
+        assert args.no_cache is True
+        assert args.cache_dir == "/tmp/x"
+
     def test_theorem52_subcommand(self):
         args = build_parser().parse_args(["theorem52"])
         assert args.experiment == "theorem52"
+        assert args.jobs == 1
 
     def test_ablation_subcommands_exist(self):
         for name in (
@@ -38,6 +50,7 @@ class TestParser:
         ):
             args = build_parser().parse_args([name])
             assert args.experiment == name
+            assert args.no_cache is False
 
     def test_plot_flag(self):
         args = build_parser().parse_args(["figure1", "--plot"])
@@ -50,13 +63,13 @@ class TestParser:
 
 class TestMain:
     def test_theorem52_prints_table(self, capsys):
-        assert main(["theorem52"]) == 0
+        assert main(["theorem52", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "empirical" in out and "analytic" in out
 
     def test_figure1_small_run(self, capsys):
         code = main(
-            ["figure1", "--records", "200", "--seed", "1"]
+            ["figure1", "--records", "200", "--seed", "1", "--no-cache"]
         )
         assert code == 0
         out = capsys.readouterr().out
@@ -65,8 +78,33 @@ class TestMain:
 
     def test_plot_flag_draws_chart(self, capsys):
         code = main(
-            ["figure1", "--records", "200", "--seed", "1", "--plot"]
+            ["figure1", "--records", "200", "--seed", "1", "--no-cache",
+             "--plot"]
         )
         assert code == 0
         out = capsys.readouterr().out
         assert "legend:" in out
+
+    def test_parallel_matches_serial(self, capsys, tmp_path):
+        argv = ["figure1", "--records", "200", "--seed", "1"]
+        assert main(argv + ["--no-cache"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--no-cache", "--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+
+    def test_cache_dir_populated_and_reused(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        argv = [
+            "figure1", "--records", "200", "--seed", "1",
+            "--cache-dir", str(cache_dir),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        entries = list(cache_dir.glob("??/*.json"))
+        assert len(entries) == 11  # one job per sweep point
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert second == first
+        assert set(cache_dir.glob("??/*.json")) == set(entries)

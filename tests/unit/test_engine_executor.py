@@ -1,0 +1,130 @@
+"""Unit tests for the serial and process-pool executors."""
+
+import pytest
+
+from repro.engine import Engine
+from repro.engine.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    default_worker_count,
+)
+from repro.engine.jobs import JobSpec
+from repro.engine.progress import ProgressReporter, ThroughputReporter
+from repro.exceptions import JobExecutionError, ValidationError
+
+_HERE = "tests.unit.test_engine_executor"
+
+
+def square_task(params, rng):
+    return {"square": params["x"] ** 2}
+
+
+def draw_task(params, rng):
+    return {"draw": float(rng.normal())}
+
+
+def sometimes_failing_task(params, rng):
+    if params["x"] == 2:
+        raise ValueError("x=2 is cursed")
+    return {"square": params["x"] ** 2}
+
+
+def _specs(count, task="square_task"):
+    return [
+        JobSpec(f"{_HERE}:{task}", {"x": x}, seed_root=5, seed_path=(x,))
+        for x in range(count)
+    ]
+
+
+class TestSerialExecutor:
+    def test_order_preserved(self):
+        results = SerialExecutor().run(_specs(5))
+        assert [r.values["square"] for r in results] == [0, 1, 4, 9, 16]
+
+    def test_callback_per_job(self):
+        seen = []
+        SerialExecutor().run(_specs(3), callback=seen.append)
+        assert [r.values["square"] for r in seen] == [0, 1, 4]
+
+    def test_failure_propagates(self):
+        with pytest.raises(JobExecutionError, match="x=2 is cursed"):
+            SerialExecutor().run(_specs(4, "sometimes_failing_task"))
+
+
+class TestParallelExecutor:
+    def test_order_preserved(self):
+        results = ParallelExecutor(workers=2).run(_specs(6))
+        assert [r.values["square"] for r in results] == [0, 1, 4, 9, 16, 25]
+
+    def test_matches_serial_bit_for_bit(self):
+        serial = SerialExecutor().run(_specs(6, "draw_task"))
+        parallel = ParallelExecutor(workers=3).run(_specs(6, "draw_task"))
+        assert [r.values for r in serial] == [r.values for r in parallel]
+        assert [r.key for r in serial] == [r.key for r in parallel]
+
+    def test_failure_propagates_across_processes(self):
+        with pytest.raises(JobExecutionError, match="x=2 is cursed"):
+            ParallelExecutor(workers=2).run(
+                _specs(4, "sometimes_failing_task")
+            )
+
+    def test_empty_run(self):
+        assert ParallelExecutor(workers=2).run([]) == []
+
+    def test_single_worker_uses_serial_path(self):
+        results = ParallelExecutor(workers=1).run(_specs(3))
+        assert [r.values["square"] for r in results] == [0, 1, 4]
+
+    def test_autodetect_workers(self):
+        assert ParallelExecutor().workers == default_worker_count()
+        assert ParallelExecutor(workers=0).workers == default_worker_count()
+        assert default_worker_count() >= 1
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValidationError):
+            ParallelExecutor(workers=-2)
+        with pytest.raises(ValidationError):
+            ParallelExecutor(workers=2, chunk_size=0)
+
+    def test_chunk_autosizing(self):
+        executor = ParallelExecutor(workers=2)
+        assert executor._chunk_for(1) == 1
+        assert executor._chunk_for(16) == 2
+        assert executor._chunk_for(10_000) == 16
+        assert ParallelExecutor(workers=2, chunk_size=5)._chunk_for(100) == 5
+
+
+class TestProgressReporting:
+    def test_engine_emits_progress_events(self):
+        events = []
+
+        class Recorder(ProgressReporter):
+            def on_start(self, total):
+                events.append(("start", total))
+
+            def on_result(self, result, completed, total):
+                events.append(("result", completed, total))
+
+            def on_finish(self, elapsed, completed, cached):
+                events.append(("finish", completed, cached))
+
+        Engine(progress=Recorder()).run(_specs(3))
+        assert events[0] == ("start", 3)
+        assert events[1:4] == [
+            ("result", 1, 3),
+            ("result", 2, 3),
+            ("result", 3, 3),
+        ]
+        assert events[-1] == ("finish", 3, 0)
+
+    def test_throughput_reporter_writes_eta_lines(self):
+        import io
+
+        stream = io.StringIO()
+        reporter = ThroughputReporter(stream=stream, min_interval=0.0)
+        engine = Engine(progress=reporter)
+        engine.run(_specs(3))
+        output = stream.getvalue()
+        assert "3/3 jobs" in output
+        assert "jobs/s" in output
+        assert "3 jobs in" in output

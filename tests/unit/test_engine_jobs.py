@@ -1,0 +1,124 @@
+"""Unit tests for repro.engine.jobs: specs, keys, seed derivation."""
+
+import numpy as np
+import pytest
+
+from repro.engine.jobs import (
+    JobSpec,
+    derive_rng,
+    execute_job,
+    resolve_task,
+)
+from repro.exceptions import JobExecutionError, ValidationError
+from repro.utils.rng import spawn_generators
+
+# Module-level tasks so specs can reference them by import path.
+
+
+def echo_task(params, rng):
+    return {"echo": params["value"]}
+
+
+def draw_task(params, rng):
+    return {"draws": rng.normal(size=int(params["count"])).tolist()}
+
+
+def failing_task(params, rng):
+    raise RuntimeError("boom")
+
+
+def non_dict_task(params, rng):
+    return [1, 2, 3]
+
+
+_HERE = "tests.unit.test_engine_jobs"
+
+
+class TestJobSpec:
+    def test_key_is_stable(self):
+        a = JobSpec(f"{_HERE}:echo_task", {"value": 1}, seed_root=7)
+        b = JobSpec(f"{_HERE}:echo_task", {"value": 1}, seed_root=7)
+        assert a.key() == b.key()
+
+    def test_key_covers_every_field(self):
+        base = JobSpec(f"{_HERE}:echo_task", {"value": 1}, 7, (0,))
+        variants = [
+            JobSpec(f"{_HERE}:draw_task", {"value": 1}, 7, (0,)),
+            JobSpec(f"{_HERE}:echo_task", {"value": 2}, 7, (0,)),
+            JobSpec(f"{_HERE}:echo_task", {"value": 1}, 8, (0,)),
+            JobSpec(f"{_HERE}:echo_task", {"value": 1}, 7, (1,)),
+            JobSpec(f"{_HERE}:echo_task", {"value": 1}, None, (0,)),
+        ]
+        keys = {spec.key() for spec in variants}
+        assert base.key() not in keys
+        assert len(keys) == len(variants)
+
+    def test_key_ignores_param_order(self):
+        a = JobSpec(f"{_HERE}:echo_task", {"value": 1, "x": 2})
+        b = JobSpec(f"{_HERE}:echo_task", {"x": 2, "value": 1})
+        assert a.key() == b.key()
+
+    def test_rejects_non_json_params(self):
+        with pytest.raises(ValidationError):
+            JobSpec(f"{_HERE}:echo_task", {"value": np.zeros(3)})
+
+    def test_rejects_malformed_task(self):
+        with pytest.raises(ValidationError):
+            JobSpec("no-colon-here", {})
+
+    def test_rejects_negative_seed(self):
+        with pytest.raises(ValidationError):
+            JobSpec(f"{_HERE}:echo_task", {}, seed_root=-1)
+
+    def test_seed_path_normalized_to_ints(self):
+        spec = JobSpec(f"{_HERE}:echo_task", {}, 7, (np.int64(2), 3))
+        assert spec.seed_path == (2, 3)
+
+
+class TestDeriveRng:
+    def test_matches_spawn_generators_tree(self):
+        """The engine's flat derivation equals the historical nested
+        spawn tree, for any (point, trial) coordinate."""
+        expected = spawn_generators(11, 4)[2].spawn(3)[1].normal(size=5)
+        spec = JobSpec(f"{_HERE}:echo_task", {}, seed_root=11, seed_path=(2, 1))
+        actual = derive_rng(spec).normal(size=5)
+        np.testing.assert_array_equal(expected, actual)
+
+    def test_empty_path_is_root_seed(self):
+        spec = JobSpec(f"{_HERE}:echo_task", {}, seed_root=52)
+        np.testing.assert_array_equal(
+            derive_rng(spec).normal(size=3),
+            np.random.default_rng(52).normal(size=3),
+        )
+
+    def test_self_seeding_specs_get_none(self):
+        assert derive_rng(JobSpec(f"{_HERE}:echo_task", {})) is None
+
+
+class TestExecuteJob:
+    def test_runs_task_and_times_it(self):
+        result = execute_job(JobSpec(f"{_HERE}:echo_task", {"value": 9}))
+        assert result.values == {"echo": 9}
+        assert result.duration >= 0.0
+        assert result.cached is False
+
+    def test_same_spec_same_draws(self):
+        spec = JobSpec(f"{_HERE}:draw_task", {"count": 4}, 3, (1, 2))
+        a = execute_job(spec)
+        b = execute_job(spec)
+        assert a.values == b.values
+        assert a.key == b.key == spec.key()
+
+    def test_task_exception_wrapped(self):
+        with pytest.raises(JobExecutionError, match="RuntimeError: boom"):
+            execute_job(JobSpec(f"{_HERE}:failing_task", {}))
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(JobExecutionError, match="expected a JSON"):
+            execute_job(JobSpec(f"{_HERE}:non_dict_task", {}))
+
+    def test_unresolvable_task(self):
+        with pytest.raises(ValidationError, match="cannot resolve"):
+            execute_job(JobSpec("repro.engine.jobs:no_such_function", {}))
+        with pytest.raises(ValidationError, match="cannot resolve"):
+            resolve_task("no.such.module:function")

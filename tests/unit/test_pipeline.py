@@ -112,3 +112,72 @@ class TestAttackPipeline:
             AdditiveNoiseScheme(std=1.0), _attacks()
         )
         assert pipeline.attack_names == ["NDR", "BE-DR"]
+
+
+class _ExplodingAttack(BayesEstimateReconstructor):
+    def reconstruct(self, dataset):
+        raise RuntimeError("singular covariance")
+
+
+class TestPreDisguisedInput:
+    def test_run_accepts_disguised_dataset(self, small_dataset):
+        scheme = AdditiveNoiseScheme(std=NOISE_STD)
+        disguised = scheme.disguise(small_dataset.values, rng=0)
+        pipeline = AttackPipeline(scheme, _attacks())
+        report = pipeline.run(disguised)
+        assert report.dataset is disguised
+        assert report.rmse("BE-DR") > 0.0
+
+    def test_replay_matches_fresh_run(self, small_dataset):
+        """Replaying the disguised table from a fresh run scores the
+        attacks identically — no second noise draw happens."""
+        scheme = AdditiveNoiseScheme(std=NOISE_STD)
+        pipeline = AttackPipeline(scheme, _attacks())
+        fresh = pipeline.run(small_dataset, rng=3)
+        replayed = pipeline.run(fresh.dataset)
+        for name in pipeline.attack_names:
+            assert replayed.rmse(name) == fresh.rmse(name)
+
+    def test_mismatched_noise_model_rejected(self, small_dataset):
+        disguised = AdditiveNoiseScheme(std=NOISE_STD).disguise(
+            small_dataset.values, rng=0
+        )
+        other = AttackPipeline(
+            AdditiveNoiseScheme(std=NOISE_STD * 3), _attacks()
+        )
+        with pytest.raises(ConfigurationError, match="does not match"):
+            other.run(disguised)
+
+
+class TestFailFast:
+    def _battery(self):
+        return {
+            "BE-DR": BayesEstimateReconstructor(),
+            "broken": _ExplodingAttack(),
+        }
+
+    def test_default_propagates_attack_errors(self, disguised_dataset):
+        with pytest.raises(RuntimeError, match="singular covariance"):
+            evaluate_attacks(disguised_dataset, self._battery())
+
+    def test_fail_fast_false_records_error(self, disguised_dataset):
+        outcomes = evaluate_attacks(
+            disguised_dataset, self._battery(), fail_fast=False
+        )
+        assert set(outcomes) == {"BE-DR", "broken"}
+        broken = outcomes["broken"]
+        assert broken.failed
+        assert "RuntimeError: singular covariance" in broken.error
+        assert np.isnan(broken.rmse)
+        assert broken.result is None
+        assert not outcomes["BE-DR"].failed
+
+    def test_report_failures_and_ranking(self, small_dataset):
+        pipeline = AttackPipeline(
+            AdditiveNoiseScheme(std=NOISE_STD), self._battery()
+        )
+        report = pipeline.run(small_dataset, rng=1, fail_fast=False)
+        assert report.failures == {
+            "broken": "RuntimeError: singular covariance"
+        }
+        assert report.ranking == ["BE-DR"]
