@@ -19,7 +19,7 @@ import pytest
 
 from repro.data.spectra import decaying_spectrum, two_level_spectrum
 from repro.data.synthetic import generate_dataset
-from repro.experiments.config import ExperimentSeries
+from repro.api.config import ExperimentSeries
 from repro.experiments.reporting import render_series
 from repro.linalg.covariance import ledoit_wolf_covariance
 from repro.metrics.error import root_mean_square_error

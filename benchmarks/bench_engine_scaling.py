@@ -23,7 +23,7 @@ from repro.engine import (
     SerialExecutor,
     default_worker_count,
 )
-from repro.experiments.config import SweepConfig
+from repro.api.config import SweepConfig
 from repro.experiments.runners import run_experiment1_attributes
 
 from _bench_utils import emit_json

@@ -11,7 +11,7 @@ import pytest
 from repro.core.pipeline import AttackPipeline
 from repro.data.spectra import two_level_spectrum
 from repro.data.synthetic import generate_dataset
-from repro.experiments.config import SweepConfig
+from repro.api.config import SweepConfig
 from repro.experiments.reporting import render_series
 from repro.experiments.runners import run_experiment1_attributes
 from repro.randomization.additive import AdditiveNoiseScheme

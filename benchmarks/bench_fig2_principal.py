@@ -8,7 +8,7 @@ dominates the sweep.
 
 import pytest
 
-from repro.experiments.config import SweepConfig
+from repro.api.config import SweepConfig
 from repro.experiments.reporting import render_series
 from repro.experiments.runners import run_experiment2_principal_components
 from repro.linalg.covariance import covariance_from_disguised

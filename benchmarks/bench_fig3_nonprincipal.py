@@ -9,7 +9,7 @@ below.  Benchmarks the BE-DR reconstruction at full scale.
 import numpy as np
 import pytest
 
-from repro.experiments.config import SweepConfig
+from repro.api.config import SweepConfig
 from repro.experiments.reporting import render_series
 from repro.experiments.runners import run_experiment3_nonprincipal_eigenvalues
 from repro.reconstruction.bedr import BayesEstimateReconstructor

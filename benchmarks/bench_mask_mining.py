@@ -11,7 +11,7 @@ the categorical analogue of the utility tables in Section 8.1.
 import numpy as np
 import pytest
 
-from repro.experiments.config import ExperimentSeries
+from repro.api.config import ExperimentSeries
 from repro.experiments.reporting import render_series
 from repro.mining.association import AprioriMiner, MaskScheme
 

@@ -1,0 +1,74 @@
+"""Build, serialize, and run a user-defined experiment — no core edits.
+
+The declarative API makes an experiment a *document*: pick registered
+components (``repro list schemes|attacks|datasets`` shows the catalog),
+describe the sweep, and run it.  This example defines a scenario the
+library has no runner for — how the correlated-noise defense degrades
+the paper's attacks on a skewed-marginal (lognormal) table as the noise
+budget grows — then shows the same spec round-tripping through JSON,
+which is exactly what ``repro run <spec.json>`` executes.
+
+Run:  python examples/custom_scenario_spec.py
+"""
+
+import numpy as np
+
+from repro import CorrelatedNoiseScheme, two_level_spectrum
+from repro.api import ExperimentSpec, run_spec
+from repro.experiments.reporting import render_series
+
+M = 12  # attributes
+
+
+def main() -> None:
+    # 1. Components, by registry spec.  The correlated scheme's spec is
+    #    easiest to produce from a live object (to_spec), here matching
+    #    a two-level data covariance at total power m * 4^2.
+    spectrum = two_level_spectrum(M, 3, total_variance=100.0 * M)
+    defense = CorrelatedNoiseScheme.matching_data_covariance(
+        np.diag(spectrum), noise_power=M * 16.0
+    )
+
+    spec = ExperimentSpec(
+        name="defense-vs-skewed-data",
+        dataset={
+            "kind": "copula",
+            "spectrum": spectrum.tolist(),
+            "marginal": "lognormal",
+            "target_std": 10.0,
+            "basis_seed": 3,
+        },
+        scheme=defense.to_spec(),
+        attacks={
+            "UDR": {"kind": "udr"},
+            "SF": {"kind": "sf"},
+            "PCA-DR": {"kind": "pca-dr", "selector": {"kind": "energy", "fraction": 0.9}},
+            "BE-DR": {"kind": "be-dr"},
+        },
+        params={"n_records": 1000},
+        # Sweep any dotted parameter path ("scheme.std", "n_records", ...)
+        grid={"n_records": [300, 1000, 3000]},
+        x_param="n_records",
+        x_label="published records (n)",
+        trials=2,
+        seed=11,
+        metadata={"marginal": "lognormal", "defense_power": M * 16.0},
+    )
+
+    # 2. The spec is pure data: write it out, read it back, run it.
+    document = spec.to_json()
+    print("--- spec JSON (excerpt) ---")
+    print("\n".join(document.splitlines()[:8]), "\n  ...\n")
+    reloaded = ExperimentSpec.from_json(document)
+    assert reloaded == spec
+
+    result = run_spec(reloaded)  # add jobs=4 for a process pool
+    print(render_series(result.to_series()))
+    print(
+        f"\n{result.stats['jobs']} engine jobs, "
+        f"{result.stats['duration']:.2f}s of task time."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -21,7 +21,6 @@ Run:  python examples/mask_association.py
 
 import numpy as np
 
-import repro
 from repro.metrics.breach import (
     amplification_factor,
     amplification_prevents_breach,

@@ -1,38 +1,55 @@
 """Quickstart: how correlated attributes break additive randomization.
 
-Reproduces the paper's core observation in ~40 lines of API use:
+Reproduces the paper's core observation through the declarative API:
 
-1. Generate a correlated table (the paper's Section 7.1 methodology).
-2. Disguise it with i.i.d. Gaussian noise, sigma = 5 (nominal privacy:
-   an adversary guessing the noise is zero is off by 5 on average).
-3. Run the full attack ladder — NDR, UDR, SF, PCA-DR, BE-DR — and print
-   how much of that nominal privacy actually survives.
+1. Describe the experiment as data — a correlated table (the paper's
+   Section 7.1 methodology), i.i.d. Gaussian noise at sigma = 5, and
+   the full attack ladder — in one :class:`repro.api.ExperimentSpec`.
+2. Run it (``run_spec`` compiles the spec into engine jobs; add
+   ``jobs=4`` for a process pool — results are bit-identical).
+3. Print how much of the nominal privacy actually survives.
+
+The same spec serialized to JSON (``spec.to_json()``) runs from the
+command line as ``repro run quickstart.json``.
 
 Run:  python examples/quickstart.py
 """
 
-import repro
+from repro import two_level_spectrum
+from repro.api import ExperimentSpec, run_spec
 
 
 def main() -> None:
-    # 1. A 30-attribute table whose variance concentrates in 4 principal
-    #    directions: strongly correlated, like real demographic data.
-    dataset = repro.generate_dataset(
-        spectrum=repro.two_level_spectrum(
-            30, 4, total_variance=3000.0, non_principal_value=4.0
-        ),
-        n_records=2000,
-        rng=0,
+    # 1. The whole experiment as data.  A 30-attribute table whose
+    #    variance concentrates in 4 principal directions (strongly
+    #    correlated, like real demographic data), disguised by the
+    #    Agrawal-Srikant randomization Y = X + R with R ~ N(0, 5^2) iid,
+    #    attacked by the paper's ladder in order.
+    spec = ExperimentSpec(
+        name="quickstart",
+        dataset={
+            "kind": "synthetic",
+            "spectrum": two_level_spectrum(
+                30, 4, total_variance=3000.0, non_principal_value=4.0
+            ).tolist(),
+        },
+        scheme={"kind": "additive", "std": 5.0},
+        attacks={
+            "NDR": {"kind": "ndr"},
+            "UDR": {"kind": "udr"},
+            "SF": {"kind": "sf"},
+            "PCA-DR": {"kind": "pca-dr"},
+            "BE-DR": {"kind": "be-dr"},
+        },
+        params={"n_records": 2000},
+        seed=0,
     )
 
-    # 2. The Agrawal-Srikant randomization: Y = X + R, R ~ N(0, 5^2) iid.
-    scheme = repro.AdditiveNoiseScheme(std=5.0)
-    disguised = scheme.disguise(dataset.values, rng=1)
+    # 2. Compile to engine jobs and execute.
+    result = run_spec(spec)
+    rmse = {label: float(curve[0]) for label, curve in result.series.items()}
 
     # 3. The attack ladder, in the paper's order.
-    attacks = repro.ThreatModel().build_attacks()
-    outcomes = repro.evaluate_attacks(disguised, attacks)
-
     print("Attack ladder on a correlated table (noise sigma = 5):\n")
     print(f"{'attack':<10} {'RMSE':>7}   interpretation")
     print("-" * 66)
@@ -44,12 +61,11 @@ def main() -> None:
         "BE-DR": "the paper's Bayes-estimate attack (Section 6)",
     }
     for name in ("NDR", "UDR", "SF", "PCA-DR", "BE-DR"):
-        print(f"{name:<10} {outcomes[name].rmse:>7.3f}   {notes[name]}")
+        print(f"{name:<10} {rmse[name]:>7.3f}   {notes[name]}")
 
-    ndr = outcomes["NDR"].rmse
-    be = outcomes["BE-DR"].rmse
     print(
-        f"\nBE-DR recovers the private values {ndr / be:.1f}x more "
+        f"\nBE-DR recovers the private values "
+        f"{rmse['NDR'] / rmse['BE-DR']:.1f}x more "
         "accurately than the nominal noise level suggests —"
     )
     print(

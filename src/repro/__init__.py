@@ -23,10 +23,6 @@ Quickstart
 True
 """
 
-#: Package version (kept in sync with pyproject.toml); participates in
-#: engine cache keys so upgrading invalidates previously cached results.
-__version__ = "0.1.0"
-
 from repro.core.defense import DesignedNoise, NoiseDesigner, design_noise_spectrum
 from repro.core.pipeline import (
     AttackOutcome,
@@ -115,7 +111,21 @@ from repro.mining.naive_bayes import GaussianNaiveBayes, utility_report
 from repro.stats.kde import GaussianKDE
 from repro.stats.mvn import MultivariateNormal
 
+#: Package version; participates in engine cache keys so upgrading
+#: invalidates previously cached results.
 __version__ = "1.0.0"
+
+
+def __getattr__(name):
+    # Lazy: ``repro.api`` pulls in the engine, whose cache keys read
+    # ``repro.__version__`` — importing it eagerly mid-__init__ would
+    # expose a partially initialized module.
+    if name == "api":
+        import repro.api as api
+
+        return api
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
 
 __all__ = [
     "__version__",

@@ -1,0 +1,73 @@
+"""Declarative experiment API — the library's front door.
+
+Experiments are *data* here: an :class:`ExperimentSpec` names its
+components by registry key (``repro.registry``), describes the sweep as
+a grid or point list, and compiles straight into the parallel engine's
+jobs.  Any scheme x attack x dataset combination — the paper's figures
+included — is a JSON document.
+
+>>> from repro import api
+>>> spec = api.ExperimentSpec(
+...     name="noise-sweep",
+...     dataset={"kind": "synthetic", "spectrum": [60.0, 30.0, 5.0, 5.0]},
+...     scheme={"kind": "additive", "std": 5.0},
+...     attacks={"UDR": {"kind": "udr"}, "BE-DR": {"kind": "be-dr"}},
+...     params={"n_records": 500},
+...     grid={"scheme.std": [1.0, 5.0, 10.0]},
+...     x_param="scheme.std",
+...     seed=7,
+... )
+>>> result = api.run_spec(spec)            # doctest: +SKIP
+>>> result.series["BE-DR"]                 # doctest: +SKIP
+
+``run_spec`` also accepts a spec dict or a path to a ``*.json`` file,
+and the CLI mirrors it: ``repro run spec.json``.  The paper's own
+experiments live in :mod:`repro.api.builtin` as ready-made specs.
+"""
+
+from repro.api.builtin import BUILTIN_SPECS, builtin_spec
+from repro.api.config import (
+    DEFAULT_NOISE_STD,
+    DEFAULT_RECORDS,
+    DEFAULT_VARIANCE_PER_ATTRIBUTE,
+    ExperimentSeries,
+    SweepConfig,
+)
+from repro.api.result import ExperimentResult, aggregate_payloads
+from repro.api.runner import Experiment, build_engine, run_spec
+from repro.api.spec import GENERIC_TASK, ExperimentSpec
+from repro.registry import (
+    ATTACKS,
+    DATASETS,
+    SCHEMES,
+    register_attack,
+    register_dataset,
+    register_scheme,
+)
+
+__all__ = [
+    # spec + execution
+    "ExperimentSpec",
+    "ExperimentResult",
+    "Experiment",
+    "run_spec",
+    "build_engine",
+    "aggregate_payloads",
+    "GENERIC_TASK",
+    # built-in experiments
+    "BUILTIN_SPECS",
+    "builtin_spec",
+    # configuration / series containers
+    "DEFAULT_NOISE_STD",
+    "DEFAULT_RECORDS",
+    "DEFAULT_VARIANCE_PER_ATTRIBUTE",
+    "ExperimentSeries",
+    "SweepConfig",
+    # component registries
+    "SCHEMES",
+    "ATTACKS",
+    "DATASETS",
+    "register_scheme",
+    "register_attack",
+    "register_dataset",
+]

@@ -1,0 +1,283 @@
+"""Structured results of a declarative experiment run.
+
+:class:`ExperimentResult` pairs the spec that produced it with the raw
+per-(point, trial) engine payloads and the aggregated curves.  The
+aggregation reproduces the historical runners' arithmetic exactly —
+accumulate trial payloads in job order into zero-initialized arrays,
+then divide by the trial count — so a spec-driven run is bit-identical
+to the hand-written loop it replaced.
+
+Payload conventions understood by the aggregator:
+
+* ``{"rmse": {label: value}}`` — nested numeric dicts become one curve
+  per inner label (the figure tasks' shape).
+* flat numeric keys — one curve per key (the utility ablation's shape).
+* list values — only for single-job specs; the list *is* the curve
+  (the theorem-5.2 shape), with x positions from the spec's
+  ``x_values``.
+* the spec's ``x_from`` key is averaged into the x-axis instead of a
+  curve (figure 4's measured dissimilarity).
+* nan sentinels (see :mod:`repro.utils.serialization`) decode to
+  ``nan``; non-numeric leaves (e.g. error strings) are skipped.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api.config import ExperimentSeries
+from repro.api.spec import ExperimentSpec
+from repro.exceptions import ValidationError
+from repro.utils.serialization import (
+    NAN_SENTINEL,
+    NEG_INF_SENTINEL,
+    POS_INF_SENTINEL,
+    restore_from_json,
+    sanitize_for_json,
+    values_equal,
+)
+
+__all__ = ["ExperimentResult", "aggregate_payloads"]
+
+_FLOAT_SENTINELS = (NAN_SENTINEL, POS_INF_SENTINEL, NEG_INF_SENTINEL)
+
+
+def _numeric(value):
+    """The float a payload leaf contributes, or ``None`` to skip it."""
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, str) and value in _FLOAT_SENTINELS:
+        return restore_from_json(value)
+    return None
+
+
+def aggregate_payloads(
+    spec: ExperimentSpec, payloads: list[list[dict]]
+) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    """Aggregate raw payloads into ``(x_values, series)`` curves.
+
+    ``payloads[point][trial]`` must hold the engine payload of that job.
+    """
+    n_points = len(payloads)
+    if n_points == 0:
+        raise ValidationError("experiment produced no points")
+    trials = spec.trials
+    single_job = n_points == 1 and trials == 1
+    series: dict[str, np.ndarray] = {}
+    averaged: set[str] = set()
+    x_accumulator = np.zeros(n_points) if spec.x_from is not None else None
+
+    def accumulate(label: str, point: int, value) -> None:
+        number = _numeric(value)
+        if number is None:
+            return
+        if label not in series:
+            series[label] = np.zeros(n_points)
+            averaged.add(label)
+        series[label][point] += number
+
+    for point in range(n_points):
+        trial_payloads = payloads[point]
+        if len(trial_payloads) != trials:
+            raise ValidationError(
+                f"point {point} has {len(trial_payloads)} payloads, "
+                f"expected {trials}"
+            )
+        for payload in trial_payloads:
+            if spec.x_from is not None and spec.x_from not in payload:
+                # Silent zeros on a typoed/missing key would produce a
+                # wrong-but-plausible x-axis.
+                raise ValidationError(
+                    f"x_from key {spec.x_from!r} missing from a point-"
+                    f"{point} payload; payload keys: {sorted(payload)}"
+                )
+            for key, value in payload.items():
+                if spec.x_from is not None and key == spec.x_from:
+                    number = _numeric(value)
+                    if number is None:
+                        raise ValidationError(
+                            f"x_from key {spec.x_from!r} has non-numeric "
+                            f"payload value {value!r}"
+                        )
+                    x_accumulator[point] += number
+                    continue
+                if isinstance(value, dict):
+                    for label, entry in value.items():
+                        accumulate(label, point, entry)
+                elif isinstance(value, list):
+                    if single_job:
+                        series[key] = np.asarray(
+                            restore_from_json(value), dtype=np.float64
+                        )
+                else:
+                    accumulate(key, point, value)
+
+    for label in averaged:
+        series[label] /= trials
+    if not series:
+        raise ValidationError(
+            "no numeric payload values to aggregate into series"
+        )
+
+    x_values = spec.x_values_hint(spec.expand_points())
+    if x_values is None:
+        x_accumulator /= trials
+        x_values = x_accumulator
+    return x_values, series
+
+
+@dataclass(frozen=True, eq=False)
+class ExperimentResult:
+    """Aggregated curves plus the raw payloads behind them.
+
+    Attributes
+    ----------
+    spec:
+        The validated spec that produced this result.
+    x_values:
+        Sweep positions, shape ``(k,)``.
+    series:
+        Curve label to values, each shape ``(k,)``.
+    payloads:
+        Raw engine payloads, ``payloads[point][trial]``.
+    stats:
+        Execution counters: ``jobs``, ``cached``, ``duration`` (seconds
+        of task time, cached jobs counted at their original cost).
+    """
+
+    spec: ExperimentSpec
+    x_values: np.ndarray
+    series: dict
+    payloads: tuple
+    stats: dict
+
+    @classmethod
+    def from_job_results(
+        cls, spec: ExperimentSpec, results
+    ) -> "ExperimentResult":
+        """Group and aggregate the engine's in-order job results."""
+        results = list(results)
+        points = spec.expand_points()
+        expected = len(points) * spec.trials
+        if len(results) != expected:
+            raise ValidationError(
+                f"spec {spec.name!r} compiled to {expected} jobs but got "
+                f"{len(results)} results"
+            )
+        payloads = [
+            [
+                results[point * spec.trials + trial].values
+                for trial in range(spec.trials)
+            ]
+            for point in range(len(points))
+        ]
+        x_values, series = aggregate_payloads(spec, payloads)
+        stats = {
+            "jobs": len(results),
+            "cached": sum(1 for result in results if result.cached),
+            "duration": float(
+                sum(result.duration for result in results)
+            ),
+        }
+        return cls(
+            spec=spec,
+            x_values=x_values,
+            series=series,
+            payloads=tuple(tuple(row) for row in payloads),
+            stats=stats,
+        )
+
+    @property
+    def methods(self) -> list[str]:
+        """Curve labels in insertion order."""
+        return list(self.series)
+
+    def curve(self, label: str) -> np.ndarray:
+        """One aggregated curve."""
+        try:
+            return self.series[label]
+        except KeyError:
+            raise KeyError(
+                f"no series {label!r}; available: {self.methods}"
+            ) from None
+
+    def to_series(self) -> ExperimentSeries:
+        """The result as the classic reporting/plotting container."""
+        if self.spec.x_label is not None:
+            x_label = self.spec.x_label
+        elif self.spec.x_param is not None:
+            x_label = self.spec.x_param
+        elif self.spec.x_from is not None:
+            x_label = self.spec.x_from
+        else:
+            x_label = "sweep point"
+        return ExperimentSeries(
+            name=self.spec.name,
+            x_label=x_label,
+            x_values=self.x_values,
+            series=dict(self.series),
+            metadata=dict(self.spec.metadata),
+        )
+
+    def to_dict(self) -> dict:
+        """Strict-JSON encoding (nan-safe); :meth:`from_dict` inverts."""
+        return {
+            "spec": self.spec.to_dict(),
+            "x_values": sanitize_for_json(self.x_values),
+            "series": {
+                label: sanitize_for_json(values)
+                for label, values in self.series.items()
+            },
+            "payloads": sanitize_for_json(
+                [list(row) for row in self.payloads]
+            ),
+            "stats": sanitize_for_json(self.stats),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            spec=ExperimentSpec.from_dict(payload["spec"]),
+            x_values=np.asarray(
+                restore_from_json(payload["x_values"]), dtype=np.float64
+            ),
+            series={
+                label: np.asarray(restore_from_json(values), dtype=np.float64)
+                for label, values in payload["series"].items()
+            },
+            payloads=tuple(
+                tuple(row) for row in payload.get("payloads", [])
+            ),
+            stats=restore_from_json(payload.get("stats", {})),
+        )
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """The result as strict JSON."""
+        return json.dumps(self.to_dict(), indent=indent, allow_nan=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Parse :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ExperimentResult):
+            return NotImplemented
+        return (
+            self.spec == other.spec
+            and values_equal(self.x_values, other.x_values)
+            and values_equal(self.series, other.series)
+            and values_equal(list(self.payloads), list(other.payloads))
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ExperimentResult(name={self.spec.name!r}, "
+            f"points={self.x_values.size}, methods={self.methods})"
+        )

@@ -1,0 +1,150 @@
+"""The front door: run a spec (object, dict, or JSON file) end to end.
+
+:func:`run_spec` compiles an :class:`~repro.api.spec.ExperimentSpec`
+into engine jobs, executes them (serial, process-pool, cached — all of
+the engine's machinery applies untouched), and aggregates the payloads
+into an :class:`~repro.api.result.ExperimentResult`.
+
+:class:`Experiment` is the object-shaped facade over the same path,
+with ``from_json`` / ``from_file`` constructors for specs stored as
+JSON documents.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from repro.api.result import ExperimentResult
+from repro.api.spec import ExperimentSpec
+from repro.engine import Engine, ParallelExecutor, ResultCache, SerialExecutor
+from repro.exceptions import ValidationError
+
+__all__ = ["Experiment", "build_engine", "run_spec"]
+
+
+def build_engine(
+    *,
+    jobs: int = 1,
+    cache: ResultCache | bool | str | os.PathLike | None = False,
+    progress=None,
+) -> Engine:
+    """An engine from the common knobs.
+
+    Parameters
+    ----------
+    jobs:
+        ``1`` runs in-process; any other value selects the process-pool
+        backend (``0`` = autodetect worker count).  Results are
+        bit-identical either way.
+    cache:
+        ``False``/``None`` (default) disables on-disk caching — the
+        same default as ``run_spec(spec)`` with no keywords, so adding
+        ``jobs=`` or ``progress=`` never silently turns persistence on.
+        ``True`` selects the default cache directory; a path or a ready
+        :class:`ResultCache` selects a specific one.
+    progress:
+        Optional :class:`~repro.engine.progress.ProgressReporter`.
+    """
+    if jobs == 1:
+        executor = SerialExecutor()
+    else:
+        executor = ParallelExecutor(workers=jobs)
+    if cache is True:
+        result_cache = ResultCache()
+    elif cache is False or cache is None:
+        result_cache = None
+    elif isinstance(cache, ResultCache):
+        result_cache = cache
+    else:
+        result_cache = ResultCache(cache)
+    return Engine(executor=executor, cache=result_cache, progress=progress)
+
+
+def _coerce_spec(spec) -> ExperimentSpec:
+    if isinstance(spec, ExperimentSpec):
+        return spec
+    if isinstance(spec, dict):
+        return ExperimentSpec.from_dict(spec)
+    if isinstance(spec, (str, os.PathLike)):
+        return ExperimentSpec.from_file(spec)
+    raise ValidationError(
+        "run_spec expects an ExperimentSpec, a spec dict, or a path to a "
+        f"spec JSON file; got {type(spec).__name__}"
+    )
+
+
+def run_spec(spec, *, engine: Engine | None = None, **engine_kwargs) -> ExperimentResult:
+    """Execute an experiment spec and return its structured result.
+
+    Parameters
+    ----------
+    spec:
+        An :class:`ExperimentSpec`, a plain spec dict, or a path to a
+        spec JSON file.
+    engine:
+        A preconfigured engine; mutually exclusive with the keyword
+        shortcuts below.
+    engine_kwargs:
+        ``jobs`` / ``cache`` / ``progress`` forwarded to
+        :func:`build_engine` when no engine is given.
+    """
+    if engine is not None and engine_kwargs:
+        raise ValidationError(
+            "pass either a prebuilt 'engine' or engine keywords, not both"
+        )
+    experiment_spec = _coerce_spec(spec)
+    if engine is None:
+        engine = build_engine(**engine_kwargs) if engine_kwargs else Engine()
+    results = engine.run(experiment_spec.compile_jobs())
+    return ExperimentResult.from_job_results(experiment_spec, results)
+
+
+class Experiment:
+    """Object facade: a spec plus the engine configuration to run it.
+
+    >>> from repro.api import Experiment
+    >>> experiment = Experiment.from_file("examples/specs/mini.json")
+    >>> result = experiment.run()          # doctest: +SKIP
+    """
+
+    def __init__(self, spec, *, engine: Engine | None = None):
+        self.spec = _coerce_spec(spec)
+        self.engine = engine
+
+    @classmethod
+    def from_dict(cls, payload: dict, **kwargs) -> "Experiment":
+        """From a plain spec dict."""
+        return cls(ExperimentSpec.from_dict(payload), **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str, **kwargs) -> "Experiment":
+        """From a JSON spec document."""
+        return cls(ExperimentSpec.from_json(text), **kwargs)
+
+    @classmethod
+    def from_file(cls, path, **kwargs) -> "Experiment":
+        """From a ``*.json`` spec file."""
+        return cls(ExperimentSpec.from_file(pathlib.Path(path)), **kwargs)
+
+    @property
+    def name(self) -> str:
+        """The spec's experiment name."""
+        return self.spec.name
+
+    def jobs(self):
+        """The engine jobs this experiment compiles to."""
+        return self.spec.compile_jobs()
+
+    def run(self, *, engine: Engine | None = None, **engine_kwargs) -> ExperimentResult:
+        """Execute and aggregate (see :func:`run_spec`)."""
+        chosen = engine if engine is not None else self.engine
+        if chosen is not None and engine_kwargs:
+            raise ValidationError(
+                "pass either a prebuilt 'engine' or engine keywords, "
+                "not both"
+            )
+        return run_spec(self.spec, engine=chosen, **engine_kwargs)
+
+    def __repr__(self) -> str:
+        return f"Experiment({self.spec!r})"

@@ -1,23 +1,29 @@
-"""Command-line interface: regenerate the paper's figures and ablations.
+"""Command-line interface: run experiment specs and regenerate the paper.
 
 Usage (after ``pip install -e .``)::
 
-    repro figure1                     # Figure 1 at default scale
-    repro figure1 --jobs 4            # parallel across 4 worker processes
+    repro run my_sweep.json           # execute a JSON ExperimentSpec
+    repro run spec.json --jobs 4      # parallel across 4 worker processes
+    repro run spec.json --json        # structured ExperimentResult JSON
+    repro list schemes                # registered randomization schemes
+    repro list attacks                # registered reconstruction attacks
+    repro list datasets               # registered dataset generators
+    repro figure1                     # built-in: Figure 1 at default scale
     repro figure4 --trials 3          # average 3 runs per sweep point
     repro figure2 --plot              # add an ASCII line chart
     repro theorem52                   # Theorem 5.2 numeric check
     repro ablation-selection          # DESIGN.md ablations A2-A6
     python -m repro figure2           # module form
 
-Every experiment executes through :mod:`repro.engine`.  ``--jobs N``
-selects the process-pool backend (``0`` = autodetect); results are
-bit-identical for any worker count.  Completed jobs are cached on disk
+Every experiment — a user spec or a built-in — executes through
+:mod:`repro.api` and :mod:`repro.engine`.  ``--jobs N`` selects the
+process-pool backend (``0`` = autodetect); results are bit-identical
+for any worker count.  Completed jobs are cached on disk
 (``--cache-dir``, default ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``) so
 rerunning a sweep skips finished work; ``--no-cache`` disables that.
 
 Output is the same text table the benchmark harness prints (plus an
-optional terminal plot).
+optional terminal plot), or the full structured result with ``--json``.
 """
 
 from __future__ import annotations
@@ -25,6 +31,10 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.api.builtin import builtin_spec
+from repro.api.config import DEFAULT_NOISE_STD, DEFAULT_RECORDS, SweepConfig
+from repro.api.runner import run_spec
+from repro.api.spec import ExperimentSpec
 from repro.engine import (
     Engine,
     ParallelExecutor,
@@ -33,70 +43,32 @@ from repro.engine import (
     SerialExecutor,
     ThroughputReporter,
 )
-from repro.experiments.ablations import (
-    run_ablation_covariance,
-    run_ablation_marginals,
-    run_ablation_samplesize,
-    run_ablation_selection,
-    run_ablation_utility,
-)
+from repro.exceptions import ReproError
 from repro.experiments.ascii_plot import plot_series
-from repro.experiments.config import (
-    DEFAULT_NOISE_STD,
-    DEFAULT_RECORDS,
-    SweepConfig,
-)
 from repro.experiments.reporting import render_series
-from repro.experiments.runners import (
-    run_experiment1_attributes,
-    run_experiment2_principal_components,
-    run_experiment3_nonprincipal_eigenvalues,
-    run_experiment4_correlated_noise,
-    run_theorem52_verification,
-)
+from repro.registry import ATTACKS, DATASETS, SCHEMES
 
 __all__ = ["main", "build_parser"]
 
 _FIGURES = {
-    "figure1": (
-        run_experiment1_attributes,
-        "RMSE vs number of attributes (Experiment 1)",
-    ),
-    "figure2": (
-        run_experiment2_principal_components,
-        "RMSE vs number of principal components (Experiment 2)",
-    ),
-    "figure3": (
-        run_experiment3_nonprincipal_eigenvalues,
-        "RMSE vs non-principal eigenvalue (Experiment 3)",
-    ),
-    "figure4": (
-        run_experiment4_correlated_noise,
-        "RMSE vs noise correlation dissimilarity (Experiment 4)",
-    ),
+    "figure1": "RMSE vs number of attributes (Experiment 1)",
+    "figure2": "RMSE vs number of principal components (Experiment 2)",
+    "figure3": "RMSE vs non-principal eigenvalue (Experiment 3)",
+    "figure4": "RMSE vs noise correlation dissimilarity (Experiment 4)",
 }
 
 _ABLATIONS = {
-    "ablation-selection": (
-        run_ablation_selection,
-        "A2: PCA-DR component-selection rules",
-    ),
-    "ablation-covariance": (
-        run_ablation_covariance,
-        "A3: Theorem-5.1 estimate vs oracle covariance",
-    ),
-    "ablation-samplesize": (
-        run_ablation_samplesize,
-        "A4: attack accuracy vs number of records",
-    ),
-    "ablation-utility": (
-        run_ablation_utility,
-        "A5: naive-Bayes utility of disguised data",
-    ),
-    "ablation-marginals": (
-        run_ablation_marginals,
-        "A6: non-normal marginals (Gaussian copula)",
-    ),
+    "ablation-selection": "A2: PCA-DR component-selection rules",
+    "ablation-covariance": "A3: Theorem-5.1 estimate vs oracle covariance",
+    "ablation-samplesize": "A4: attack accuracy vs number of records",
+    "ablation-utility": "A5: naive-Bayes utility of disguised data",
+    "ablation-marginals": "A6: non-normal marginals (Gaussian copula)",
+}
+
+_REGISTRIES = {
+    "schemes": SCHEMES,
+    "attacks": ATTACKS,
+    "datasets": DATASETS,
 }
 
 
@@ -140,11 +112,36 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description=(
             "Regenerate the figures of 'Deriving Private Information from "
-            "Randomized Data' (Huang, Du, Chen; SIGMOD 2005)."
+            "Randomized Data' (Huang, Du, Chen; SIGMOD 2005) and run "
+            "declarative experiment specs."
         ),
     )
     subparsers = parser.add_subparsers(dest="experiment", required=True)
-    for name, (_, help_text) in _FIGURES.items():
+
+    sub = subparsers.add_parser(
+        "run", help="execute an ExperimentSpec JSON file"
+    )
+    sub.add_argument("spec", help="path to the spec (*.json)")
+    sub.add_argument(
+        "--plot",
+        action="store_true",
+        help="also draw the series as an ASCII line chart",
+    )
+    sub.add_argument(
+        "--json",
+        action="store_true",
+        help="print the structured ExperimentResult as JSON",
+    )
+    _add_engine_arguments(sub)
+
+    sub = subparsers.add_parser("list", help="list registered components")
+    sub.add_argument(
+        "registry",
+        choices=sorted(_REGISTRIES),
+        help="which component family to list",
+    )
+
+    for name, help_text in _FIGURES.items():
         sub = subparsers.add_parser(name, help=help_text)
         sub.add_argument(
             "--records",
@@ -176,7 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="also draw the series as an ASCII line chart",
         )
         _add_engine_arguments(sub)
-    for name, (_, help_text) in _ABLATIONS.items():
+    for name, help_text in _ABLATIONS.items():
         sub = subparsers.add_parser(name, help=help_text)
         sub.add_argument("--plot", action="store_true",
                          help="also draw an ASCII line chart")
@@ -205,26 +202,56 @@ def _engine_from_args(args) -> Engine:
     return Engine(executor=executor, cache=cache, progress=progress)
 
 
+def _list_components(args) -> int:
+    registry = _REGISTRIES[args.registry]
+    for key in registry.names():
+        print(f"{key:<16} {registry.get(key).__name__}")
+    return 0
+
+
+def _run_spec_file(args) -> int:
+    try:
+        spec = ExperimentSpec.from_file(args.spec)
+    except FileNotFoundError:
+        print(f"error: spec file not found: {args.spec}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: invalid spec: {exc}", file=sys.stderr)
+        return 2
+    result = run_spec(spec, engine=_engine_from_args(args))
+    if args.json:
+        print(result.to_json(indent=2))
+        return 0
+    series = result.to_series()
+    print(render_series(series))
+    if args.plot:
+        print()
+        print(plot_series(series))
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    engine = _engine_from_args(args)
 
-    if args.experiment == "theorem52":
-        series = run_theorem52_verification(engine=engine)
-    elif args.experiment in _ABLATIONS:
-        runner, _ = _ABLATIONS[args.experiment]
-        series = runner(engine=engine)
-    else:
-        runner, _ = _FIGURES[args.experiment]
+    if args.experiment == "run":
+        return _run_spec_file(args)
+    if args.experiment == "list":
+        return _list_components(args)
+
+    engine = _engine_from_args(args)
+    if args.experiment in _FIGURES:
         config = SweepConfig(
             n_records=args.records,
             noise_std=args.noise_std,
             n_trials=args.trials,
             seed=args.seed,
         )
-        series = runner(config, engine=engine)
+        spec = builtin_spec(args.experiment, config)
+    else:
+        spec = builtin_spec(args.experiment)
+    series = run_spec(spec, engine=engine).to_series()
     print(render_series(series))
     if getattr(args, "plot", False):
         print()

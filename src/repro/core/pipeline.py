@@ -15,14 +15,19 @@ import numpy as np
 from repro.data.synthetic import SyntheticDataset
 from repro.exceptions import ConfigurationError
 from repro.metrics.error import per_attribute_rmse, root_mean_square_error
-from repro.randomization.base import DisguisedDataset, RandomizationScheme
+from repro.randomization.base import DisguisedDataset, NoiseModel, RandomizationScheme
 from repro.reconstruction.base import ReconstructionResult, Reconstructor
 from repro.utils.rng import as_generator
+from repro.utils.serialization import (
+    restore_from_json,
+    sanitize_for_json,
+    values_equal,
+)
 
 __all__ = ["AttackOutcome", "PipelineReport", "evaluate_attacks", "AttackPipeline"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class AttackOutcome:
     """One attack's performance on one disguised dataset.
 
@@ -55,14 +60,97 @@ class AttackOutcome:
         """True when the attack raised instead of reconstructing."""
         return self.error is not None
 
+    def __eq__(self, other) -> bool:
+        # dataclass equality would compare the rmse/attribute_rmse
+        # arrays with ``==`` (ambiguous truth value) and treat the nan
+        # of a failed attack as unequal to itself; compare element-wise
+        # and nan-aware instead, so round-tripped outcomes are equal.
+        if not isinstance(other, AttackOutcome):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.error == other.error
+            and values_equal(self.rmse, other.rmse)
+            and values_equal(self.attribute_rmse, other.attribute_rmse)
+            and self.result == other.result
+        )
 
-@dataclass(frozen=True)
+    def to_dict(self, *, include_estimate: bool = True) -> dict:
+        """JSON-safe encoding (nan-aware), invertible by :meth:`from_dict`.
+
+        ``include_estimate=False`` drops the full ``(n, m)``
+        reconstruction matrix, keeping only the scores — the compact
+        form sweeps persist.
+        """
+        result = None
+        if self.result is not None:
+            result = {
+                "method": self.result.method,
+                "details": sanitize_for_json(self.result.details),
+                "estimate": (
+                    sanitize_for_json(self.result.estimate)
+                    if include_estimate
+                    else None
+                ),
+            }
+        return {
+            "name": self.name,
+            "rmse": sanitize_for_json(float(self.rmse)),
+            "attribute_rmse": sanitize_for_json(self.attribute_rmse),
+            "error": self.error,
+            "result": result,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AttackOutcome":
+        """Rebuild an outcome from :meth:`to_dict` output.
+
+        Outcomes saved with ``include_estimate=False`` come back with
+        ``result=None`` (the scores survive; the matrix was dropped).
+        """
+        encoded = payload.get("result")
+        result = None
+        if encoded is not None and encoded.get("estimate") is not None:
+            result = ReconstructionResult(
+                estimate=np.asarray(
+                    restore_from_json(encoded["estimate"]), dtype=np.float64
+                ),
+                method=encoded["method"],
+                details=restore_from_json(encoded.get("details", {})),
+            )
+        return cls(
+            name=payload["name"],
+            rmse=float(restore_from_json(payload["rmse"])),
+            attribute_rmse=np.asarray(
+                restore_from_json(payload["attribute_rmse"]),
+                dtype=np.float64,
+            ),
+            result=result,
+            error=payload.get("error"),
+        )
+
+
+@dataclass(frozen=True, eq=False)
 class PipelineReport:
-    """All attack outcomes for one generated-and-disguised dataset."""
+    """All attack outcomes for one generated-and-disguised dataset.
+
+    ``dataset`` holds the full disguised/original/noise matrices for a
+    live report; a report deserialized with ``include_dataset=False``
+    carries ``dataset=None`` (scores only).
+    """
 
     outcomes: dict[str, AttackOutcome]
-    dataset: DisguisedDataset
+    dataset: DisguisedDataset | None
     metadata: dict = field(default_factory=dict)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PipelineReport):
+            return NotImplemented
+        return (
+            self.outcomes == other.outcomes
+            and self.dataset == other.dataset
+            and values_equal(self.metadata, other.metadata)
+        )
 
     def rmse(self, name: str) -> float:
         """RMSE of a named attack."""
@@ -94,6 +182,79 @@ class PipelineReport:
             for name, outcome in self.outcomes.items()
             if outcome.failed
         }
+
+    def to_dict(
+        self,
+        *,
+        include_dataset: bool = True,
+        include_estimates: bool = True,
+    ) -> dict:
+        """Strict-JSON encoding of the whole report (nan-safe).
+
+        The payload survives ``json.dumps(..., allow_nan=False)`` — the
+        same encoding the engine's result cache enforces — and
+        :meth:`from_dict` inverts it bit-for-bit.  Set the two flags to
+        ``False`` for the compact scores-only form (no ``(n, m)``
+        matrices), e.g. when persisting large sweeps.
+        """
+        dataset = None
+        if include_dataset and self.dataset is not None:
+            model = self.dataset.noise_model
+            dataset = {
+                "disguised": sanitize_for_json(self.dataset.disguised),
+                "original": sanitize_for_json(self.dataset.original),
+                "noise": sanitize_for_json(self.dataset.noise),
+                "noise_model": {
+                    "covariance": sanitize_for_json(model.covariance),
+                    "mean": sanitize_for_json(model.mean),
+                    "family": model.family,
+                },
+            }
+        return {
+            "outcomes": {
+                name: outcome.to_dict(include_estimate=include_estimates)
+                for name, outcome in self.outcomes.items()
+            },
+            "dataset": dataset,
+            "metadata": sanitize_for_json(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PipelineReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        encoded = payload.get("dataset")
+        dataset = None
+        if encoded is not None:
+            model = encoded["noise_model"]
+            dataset = DisguisedDataset(
+                disguised=np.asarray(
+                    restore_from_json(encoded["disguised"]), dtype=np.float64
+                ),
+                noise_model=NoiseModel(
+                    covariance=np.asarray(
+                        restore_from_json(model["covariance"]),
+                        dtype=np.float64,
+                    ),
+                    mean=np.asarray(
+                        restore_from_json(model["mean"]), dtype=np.float64
+                    ),
+                    family=model["family"],
+                ),
+                original=np.asarray(
+                    restore_from_json(encoded["original"]), dtype=np.float64
+                ),
+                noise=np.asarray(
+                    restore_from_json(encoded["noise"]), dtype=np.float64
+                ),
+            )
+        return cls(
+            outcomes={
+                name: AttackOutcome.from_dict(outcome)
+                for name, outcome in payload["outcomes"].items()
+            },
+            dataset=dataset,
+            metadata=restore_from_json(payload.get("metadata", {})),
+        )
 
     def __repr__(self) -> str:
         parts = ", ".join(

@@ -28,11 +28,13 @@ from repro.reconstruction.spectral_filtering import (
 )
 from repro.reconstruction.udr import UnivariateReconstructor
 from repro.reconstruction.wiener import WienerSmootherReconstructor
+from repro.registry import check_spec
+from repro.utils.serialization import values_equal
 
 __all__ = ["ThreatModel"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class ThreatModel:
     """What the adversary knows beyond the published table.
 
@@ -69,6 +71,20 @@ class ThreatModel:
                 "leaked_attributes and leaked_values must be given together"
             )
 
+    def __eq__(self, other) -> bool:
+        # leaked_values may be an ndarray; the generated equality would
+        # raise the ambiguous-truth ValueError on it.
+        if not isinstance(other, ThreatModel):
+            return NotImplemented
+        return (
+            self.exploits_correlations == other.exploits_correlations
+            and self.exploits_serial_dependency
+            == other.exploits_serial_dependency
+            and tuple(self.leaked_attributes) == tuple(other.leaked_attributes)
+            and values_equal(self.leaked_values, other.leaked_values)
+            and self.udr_prior == other.udr_prior
+        )
+
     @property
     def has_leak(self) -> bool:
         """True when partial value disclosure is part of the model."""
@@ -100,6 +116,54 @@ class ThreatModel:
                 self.leaked_values,
             )
         return attacks
+
+    def to_spec(self) -> dict:
+        """JSON-safe description, invertible by :meth:`from_spec`."""
+        spec: dict = {
+            "kind": "threat_model",
+            "exploits_correlations": self.exploits_correlations,
+            "exploits_serial_dependency": self.exploits_serial_dependency,
+            "udr_prior": self.udr_prior,
+        }
+        if self.has_leak:
+            spec["leaked_attributes"] = [
+                int(index) for index in self.leaked_attributes
+            ]
+            spec["leaked_values"] = np.asarray(
+                self.leaked_values, dtype=np.float64
+            ).tolist()
+        return spec
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "ThreatModel":
+        """Rebuild a threat model from its spec dict."""
+        check_spec(
+            spec,
+            "threat_model",
+            optional=(
+                "exploits_correlations",
+                "exploits_serial_dependency",
+                "leaked_attributes",
+                "leaked_values",
+                "udr_prior",
+            ),
+        )
+        leaked_values = spec.get("leaked_values")
+        return cls(
+            exploits_correlations=bool(
+                spec.get("exploits_correlations", True)
+            ),
+            exploits_serial_dependency=bool(
+                spec.get("exploits_serial_dependency", False)
+            ),
+            leaked_attributes=tuple(spec.get("leaked_attributes", ())),
+            leaked_values=(
+                None
+                if leaked_values is None
+                else np.asarray(leaked_values, dtype=np.float64)
+            ),
+            udr_prior=spec.get("udr_prior", "gaussian"),
+        )
 
     def __repr__(self) -> str:
         flags = []

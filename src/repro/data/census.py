@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.registry import check_spec, register_dataset
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive_int
 
@@ -70,6 +71,7 @@ class CensusTable:
         return self.values[:, index].copy()
 
 
+@register_dataset("census")
 class CensusLikeGenerator:
     """Generator of correlated demographic/clinical records.
 
@@ -92,6 +94,14 @@ class CensusLikeGenerator:
         self._means = np.array([row[1] for row in _COLUMNS])
         self._loadings = np.array([row[2] for row in _COLUMNS]) * self._scale
         self._noise_stds = np.array([row[3] for row in _COLUMNS]) * self._scale
+
+    def to_spec(self) -> dict:
+        return {"kind": "census", "scale": self._scale}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "CensusLikeGenerator":
+        check_spec(spec, "census", optional=("scale",))
+        return cls(scale=float(spec.get("scale", 1.0)))
 
     @property
     def column_names(self) -> tuple[str, ...]:

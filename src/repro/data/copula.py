@@ -26,6 +26,7 @@ from scipy.special import ndtr, ndtri
 from repro.data.covariance_builder import CovarianceModel
 from repro.exceptions import ValidationError
 from repro.linalg.covariance import correlation_from_covariance
+from repro.registry import check_spec, register_dataset
 from repro.stats.mvn import MultivariateNormal
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_in_range, check_positive_int
@@ -42,6 +43,7 @@ _BIMODAL_DELTA = 1.0
 _BIMODAL_STD = 0.4
 
 
+@register_dataset("copula")
 class GaussianCopulaGenerator:
     """Correlated tables with chosen marginal shapes.
 
@@ -109,6 +111,56 @@ class GaussianCopulaGenerator:
     def latent_correlation(self) -> np.ndarray:
         """The copula's latent correlation matrix (copy)."""
         return self._corr.copy()
+
+    def to_spec(self) -> dict:
+        # Always emit the realized correlation matrix, so round-trips
+        # are exact even for instances built via from_spectrum.
+        return {
+            "kind": "copula",
+            "correlation": self._corr.tolist(),
+            "marginal": self._marginal,
+            "target_std": self._target_std,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "GaussianCopulaGenerator":
+        check_spec(
+            spec,
+            "copula",
+            optional=(
+                "correlation",
+                "spectrum",
+                "basis_seed",
+                "marginal",
+                "target_std",
+            ),
+        )
+        has_corr = "correlation" in spec
+        has_spectrum = "spectrum" in spec
+        if has_corr == has_spectrum:
+            raise ValidationError(
+                "copula spec needs exactly one of 'correlation' and "
+                "'spectrum'"
+            )
+        marginal = spec.get("marginal", "normal")
+        target_std = float(spec.get("target_std", 1.0))
+        if has_corr:
+            if "basis_seed" in spec:
+                raise ValidationError(
+                    "'basis_seed' only applies to spectrum-based copula "
+                    "specs"
+                )
+            return cls(
+                np.asarray(spec["correlation"], dtype=np.float64),
+                marginal=marginal,
+                target_std=target_std,
+            )
+        return cls.from_spectrum(
+            np.asarray(spec["spectrum"], dtype=np.float64),
+            marginal=marginal,
+            target_std=target_std,
+            rng=int(spec.get("basis_seed", 0)),
+        )
 
     def sample(self, n_records: int, rng=None) -> np.ndarray:
         """Draw ``n_records`` rows, shape ``(n_records, m)``.

@@ -14,11 +14,16 @@ import numpy as np
 
 from repro.data.covariance_builder import CovarianceModel
 from repro.exceptions import ValidationError
+from repro.registry import check_spec, register_dataset
 from repro.stats.mvn import MultivariateNormal
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive_int, check_vector
 
-__all__ = ["SyntheticDataset", "generate_dataset"]
+__all__ = [
+    "SyntheticDataset",
+    "SpectrumDatasetGenerator",
+    "generate_dataset",
+]
 
 
 @dataclass(frozen=True)
@@ -121,3 +126,66 @@ def generate_dataset(
         covariance_model=covariance_model,
         mean=mean_vector,
     )
+
+
+@register_dataset("synthetic")
+class SpectrumDatasetGenerator:
+    """Spec-constructible wrapper around :func:`generate_dataset`.
+
+    Holds the population description (eigenvalue spectrum and optional
+    mean); every :meth:`sample` call draws a fresh random eigenbasis and
+    a fresh table from the provided generator — exactly the paper's
+    Section 7.1 per-trial pipeline, and exactly what the figure tasks do
+    inline.
+
+    Parameters
+    ----------
+    spectrum:
+        Eigenvalues of the population covariance, descending.
+    mean:
+        Optional population mean vector (defaults to zero).
+    """
+
+    def __init__(self, spectrum, *, mean=None):
+        self._spectrum = check_vector(spectrum, "spectrum")
+        if self._spectrum.size < 1:
+            raise ValidationError("'spectrum' must be non-empty")
+        self._mean = None if mean is None else check_vector(mean, "mean")
+        if self._mean is not None and self._mean.size != self._spectrum.size:
+            raise ValidationError(
+                f"mean has length {self._mean.size}, spectrum has "
+                f"{self._spectrum.size}"
+            )
+
+    @property
+    def n_attributes(self) -> int:
+        """Number of generated attributes."""
+        return int(self._spectrum.size)
+
+    @property
+    def spectrum(self) -> np.ndarray:
+        """Population eigenvalues (copy)."""
+        return self._spectrum.copy()
+
+    def sample(self, n_records: int, rng=None) -> SyntheticDataset:
+        """Draw a fresh eigenbasis and table (Section 7.1 steps 2-5)."""
+        return generate_dataset(
+            spectrum=self._spectrum,
+            n_records=n_records,
+            mean=self._mean,
+            rng=rng,
+        )
+
+    def to_spec(self) -> dict:
+        spec: dict = {"kind": "synthetic", "spectrum": self._spectrum.tolist()}
+        if self._mean is not None:
+            spec["mean"] = self._mean.tolist()
+        return spec
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "SpectrumDatasetGenerator":
+        check_spec(spec, "synthetic", required=("spectrum",), optional=("mean",))
+        return cls(spec["spectrum"], mean=spec.get("mean"))
+
+    def __repr__(self) -> str:
+        return f"SpectrumDatasetGenerator(m={self.n_attributes})"

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.registry import check_spec, register_dataset
 from repro.utils.rng import as_generator
 from repro.utils.validation import (
     check_in_range,
@@ -23,6 +24,7 @@ from repro.utils.validation import (
 __all__ = ["VectorAutoregressiveGenerator"]
 
 
+@register_dataset("var")
 class VectorAutoregressiveGenerator:
     """Stationary first-order vector autoregression ``x_t = A x_{t-1} + w_t``.
 
@@ -88,6 +90,35 @@ class VectorAutoregressiveGenerator:
     def innovation_std(self) -> float:
         """Innovation standard deviation."""
         return self._innovation_std
+
+    def to_spec(self) -> dict:
+        # Emit the realized transition matrix so scalar- and
+        # matrix-built instances round-trip identically.
+        return {
+            "kind": "var",
+            "coefficient": self._transition.tolist(),
+            "innovation_std": self._innovation_std,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "VectorAutoregressiveGenerator":
+        check_spec(
+            spec,
+            "var",
+            required=("coefficient",),
+            optional=("innovation_std", "n_channels"),
+        )
+        coefficient = spec["coefficient"]
+        if not isinstance(coefficient, list):
+            coefficient = float(coefficient)
+        else:
+            coefficient = np.asarray(coefficient, dtype=np.float64)
+        n_channels = spec.get("n_channels")
+        return cls(
+            coefficient,
+            innovation_std=float(spec.get("innovation_std", 1.0)),
+            n_channels=None if n_channels is None else int(n_channels),
+        )
 
     def stationary_covariance(self, *, max_terms: int = 10_000) -> np.ndarray:
         """Stationary covariance: solves ``S = A S A^T + s^2 I``.

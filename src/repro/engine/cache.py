@@ -22,6 +22,7 @@ import tempfile
 
 from repro.engine.jobs import JobResult, JobSpec
 from repro.exceptions import ValidationError
+from repro.utils.serialization import sanitize_for_json
 
 __all__ = ["default_cache_dir", "ResultCache"]
 
@@ -92,12 +93,15 @@ class ResultCache:
             )
         path = self.path_for(result.key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        # The shared nan-safe encoding (sentinel strings, never bare NaN
+        # tokens) keeps every cache file strict JSON; task payloads are
+        # already sanitized, so this is normally the identity.
         payload = {
             "task": spec.task,
             "params": spec.params,
             "seed_root": spec.seed_root,
             "seed_path": list(spec.seed_path),
-            "values": result.values,
+            "values": sanitize_for_json(result.values),
             "duration": result.duration,
         }
         handle, temp_name = tempfile.mkstemp(
@@ -105,7 +109,7 @@ class ResultCache:
         )
         try:
             with os.fdopen(handle, "w") as stream:
-                json.dump(payload, stream)
+                json.dump(payload, stream, allow_nan=False)
             os.replace(temp_name, path)
         except BaseException:
             try:

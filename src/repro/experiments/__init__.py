@@ -2,7 +2,7 @@
 
 One runner per figure (Section 7's Experiments 1-3 and Section 8.2's
 Experiment 4), plus the Theorem 5.2 verification and the ablations listed
-in DESIGN.md.  Runners return :class:`~repro.experiments.config.
+in DESIGN.md.  Runners return :class:`~repro.api.config.
 ExperimentSeries` objects; :mod:`repro.experiments.reporting` renders them
 as the text tables the benchmarks print.
 """
@@ -15,7 +15,7 @@ from repro.experiments.ablations import (
     run_ablation_utility,
 )
 from repro.experiments.ascii_plot import plot_series
-from repro.experiments.config import (
+from repro.api.config import (
     DEFAULT_NOISE_STD,
     DEFAULT_RECORDS,
     DEFAULT_VARIANCE_PER_ATTRIBUTE,

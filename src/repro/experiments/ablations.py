@@ -7,22 +7,27 @@ non-normal marginals move the results, and whether disguised data stays
 minable.  Each returns an :class:`ExperimentSeries` like the figure
 runners, so the same reporting and benchmark plumbing applies.
 
-Like the figure runners, every ablation expands into engine jobs (one
-per workload / sample size / scheme / marginal shape) executed through
-:class:`~repro.engine.Engine`.  The ablations keep their historical
-explicit integer seeding: each job carries its seeds in ``params`` and
-is therefore bit-identical to the old in-process loops under any
-executor backend.
+Like the figure runners, every ablation is a thin wrapper over its
+built-in :class:`~repro.api.spec.ExperimentSpec`
+(:mod:`repro.api.builtin`) executed through
+:func:`~repro.api.runner.run_spec`.  The ablations keep their historical
+explicit integer seeding: each compiled job carries its seeds in
+``params`` and is therefore bit-identical to the old in-process loops
+under any executor backend.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.data.spectra import decaying_spectrum, two_level_spectrum
-from repro.engine import Engine, JobSpec
-from repro.exceptions import ConfigurationError
-from repro.experiments.config import ExperimentSeries
+from repro.api.builtin import (
+    ablation_covariance_spec,
+    ablation_marginals_spec,
+    ablation_samplesize_spec,
+    ablation_selection_spec,
+    ablation_utility_spec,
+)
+from repro.api.config import ExperimentSeries
+from repro.api.runner import run_spec
+from repro.engine import Engine
 
 __all__ = [
     "run_ablation_selection",
@@ -31,26 +36,6 @@ __all__ = [
     "run_ablation_utility",
     "run_ablation_marginals",
 ]
-
-_SELECTION_TASK = "repro.experiments.tasks:ablation_selection_workload"
-_COVARIANCE_TASK = "repro.experiments.tasks:ablation_covariance_point"
-_SAMPLESIZE_TASK = "repro.experiments.tasks:ablation_samplesize_point"
-_UTILITY_TASK = "repro.experiments.tasks:ablation_utility_scheme"
-_MARGINALS_TASK = "repro.experiments.tasks:ablation_marginals_shape"
-
-
-def _rmse_curves(results) -> dict[str, list[float]]:
-    """Collect per-method curves from engine payloads.
-
-    Method names (and their order) come from the task's own payload, so
-    runners cannot drift out of sync with the attack batteries built in
-    :mod:`repro.experiments.tasks`.
-    """
-    names = list(results[0].values["rmse"])
-    return {
-        name: [result.values["rmse"][name] for result in results]
-        for name in names
-    }
 
 
 def run_ablation_selection(
@@ -68,41 +53,14 @@ def run_ablation_selection(
     paper's choice) on a clean two-level spectrum and on a geometric
     decay with no gap to find.
     """
-    engine = engine or Engine()
-    workloads = {
-        f"two-level(m={n_attributes},p={n_principal})": two_level_spectrum(
-            n_attributes,
-            n_principal,
-            total_variance=100.0 * n_attributes,
-            non_principal_value=4.0,
-        ),
-        f"decaying(m={n_attributes},rate=0.9)": decaying_spectrum(
-            n_attributes, decay=0.9, total_variance=100.0 * n_attributes
-        ),
-    }
-    specs = [
-        JobSpec(
-            task=_SELECTION_TASK,
-            params={
-                "spectrum": np.asarray(spectrum).tolist(),
-                "n_principal": n_principal,
-                "n_records": n_records,
-                "noise_std": noise_std,
-                "data_seed": seed + index,
-                "attack_seed": seed + 100 + index,
-            },
-        )
-        for index, spectrum in enumerate(workloads.values())
-    ]
-    results = engine.run(specs)
-    curves = _rmse_curves(results)
-    return ExperimentSeries(
-        name="ablation-selection",
-        x_label="workload (0=two-level, 1=decaying)",
-        x_values=np.arange(len(workloads), dtype=float),
-        series=curves,
-        metadata={"workloads": list(workloads), "noise_std": noise_std},
+    spec = ablation_selection_spec(
+        n_attributes=n_attributes,
+        n_principal=n_principal,
+        n_records=n_records,
+        noise_std=noise_std,
+        seed=seed,
     )
+    return run_spec(spec, engine=engine).to_series()
 
 
 def run_ablation_covariance(
@@ -115,42 +73,14 @@ def run_ablation_covariance(
     engine: Engine | None = None,
 ) -> ExperimentSeries:
     """A3 — Theorem-5.1 estimated covariance vs the oracle, across n."""
-    sizes = [int(n) for n in sample_sizes]
-    if not sizes:
-        raise ConfigurationError("'sample_sizes' must be non-empty")
-    engine = engine or Engine()
-    spectrum = two_level_spectrum(
-        n_attributes,
-        n_principal,
-        total_variance=100.0 * n_attributes,
-        non_principal_value=4.0,
+    spec = ablation_covariance_spec(
+        sample_sizes=sample_sizes,
+        n_attributes=n_attributes,
+        n_principal=n_principal,
+        noise_std=noise_std,
+        seed=seed,
     )
-    specs = [
-        JobSpec(
-            task=_COVARIANCE_TASK,
-            params={
-                "spectrum": np.asarray(spectrum).tolist(),
-                "n_records": n,
-                "noise_std": noise_std,
-                "data_seed": seed + index,
-                "noise_seed": seed + 50 + index,
-            },
-        )
-        for index, n in enumerate(sizes)
-    ]
-    results = engine.run(specs)
-    curves = _rmse_curves(results)
-    return ExperimentSeries(
-        name="ablation-covariance",
-        x_label="records (n)",
-        x_values=np.asarray(sizes, dtype=float),
-        series=curves,
-        metadata={
-            "m": n_attributes,
-            "p": n_principal,
-            "noise_std": noise_std,
-        },
-    )
+    return run_spec(spec, engine=engine).to_series()
 
 
 def run_ablation_samplesize(
@@ -163,42 +93,14 @@ def run_ablation_samplesize(
     engine: Engine | None = None,
 ) -> ExperimentSeries:
     """A4 — attack accuracy vs the number of published records."""
-    sizes = [int(n) for n in sample_sizes]
-    if not sizes:
-        raise ConfigurationError("'sample_sizes' must be non-empty")
-    engine = engine or Engine()
-    spectrum = two_level_spectrum(
-        n_attributes,
-        n_principal,
-        total_variance=100.0 * n_attributes,
-        non_principal_value=4.0,
+    spec = ablation_samplesize_spec(
+        sample_sizes=sample_sizes,
+        n_attributes=n_attributes,
+        n_principal=n_principal,
+        noise_std=noise_std,
+        seed=seed,
     )
-    specs = [
-        JobSpec(
-            task=_SAMPLESIZE_TASK,
-            params={
-                "spectrum": np.asarray(spectrum).tolist(),
-                "n_records": n,
-                "noise_std": noise_std,
-                "data_seed": seed + index,
-                "attack_seed": seed + 10 + index,
-            },
-        )
-        for index, n in enumerate(sizes)
-    ]
-    results = engine.run(specs)
-    curves = _rmse_curves(results)
-    return ExperimentSeries(
-        name="ablation-samplesize",
-        x_label="records (n)",
-        x_values=np.asarray(sizes, dtype=float),
-        series=curves,
-        metadata={
-            "m": n_attributes,
-            "p": n_principal,
-            "noise_std": noise_std,
-        },
-    )
+    return run_spec(spec, engine=engine).to_series()
 
 
 def run_ablation_utility(
@@ -211,35 +113,14 @@ def run_ablation_utility(
     engine: Engine | None = None,
 ) -> ExperimentSeries:
     """A5 — naive-Bayes utility under the baseline and improved schemes."""
-    engine = engine or Engine()
-    scheme_names = ["iid", "correlated"]
-    specs = [
-        JobSpec(
-            task=_UTILITY_TASK,
-            params={
-                "scheme": scheme,
-                "scheme_index": index,
-                "n_train": n_train,
-                "n_test": n_test,
-                "n_attributes": n_attributes,
-                "noise_std": noise_std,
-                "seed": seed,
-            },
-        )
-        for index, scheme in enumerate(scheme_names)
-    ]
-    results = engine.run(specs)
-    rows = {
-        key: [result.values[key] for result in results]
-        for key in ("original", "disguised_naive", "disguised_corrected")
-    }
-    return ExperimentSeries(
-        name="ablation-utility",
-        x_label="scheme (0=iid, 1=correlated)",
-        x_values=np.arange(len(scheme_names), dtype=float),
-        series=rows,
-        metadata={"noise_std": noise_std, "m": n_attributes},
+    spec = ablation_utility_spec(
+        n_train=n_train,
+        n_test=n_test,
+        n_attributes=n_attributes,
+        noise_std=noise_std,
+        seed=seed,
     )
+    return run_spec(spec, engine=engine).to_series()
 
 
 def run_ablation_marginals(
@@ -259,41 +140,12 @@ def run_ablation_marginals(
     fixed (Gaussian copula) and swaps the marginals, measuring how much
     of the attack's edge over UDR survives model misspecification.
     """
-    shapes = list(marginals)
-    if not shapes:
-        raise ConfigurationError("'marginals' must be non-empty")
-    engine = engine or Engine()
-    spectrum = two_level_spectrum(
-        n_attributes,
-        n_principal,
-        total_variance=float(n_attributes),
-        non_principal_value=0.04,
+    spec = ablation_marginals_spec(
+        marginals=marginals,
+        n_attributes=n_attributes,
+        n_principal=n_principal,
+        n_records=n_records,
+        noise_std=noise_std,
+        seed=seed,
     )
-    specs = [
-        JobSpec(
-            task=_MARGINALS_TASK,
-            params={
-                "spectrum": np.asarray(spectrum).tolist(),
-                "marginal": shape,
-                "n_records": n_records,
-                "noise_std": noise_std,
-                "copula_seed": seed,
-                "sample_seed": seed + index + 1,
-                "attack_seed": seed + 50 + index,
-            },
-        )
-        for index, shape in enumerate(shapes)
-    ]
-    results = engine.run(specs)
-    curves = _rmse_curves(results)
-    return ExperimentSeries(
-        name="ablation-marginals",
-        x_label="marginal shape index",
-        x_values=np.arange(len(shapes), dtype=float),
-        series=curves,
-        metadata={
-            "marginals": shapes,
-            "noise_std": noise_std,
-            "m": n_attributes,
-        },
-    )
+    return run_spec(spec, engine=engine).to_series()

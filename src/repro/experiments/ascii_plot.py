@@ -1,7 +1,7 @@
 """Terminal line plots for experiment series (no matplotlib available).
 
 The paper communicates its results as line charts; this renderer draws an
-:class:`~repro.experiments.config.ExperimentSeries` as an ASCII chart so
+:class:`~repro.api.config.ExperimentSeries` as an ASCII chart so
 `repro figure1 --plot` visually matches the published figures in any
 terminal.  One glyph per curve, row-major rasterization, y-axis
 auto-scaled with padded ticks.
@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ValidationError
-from repro.experiments.config import ExperimentSeries
+from repro.api.config import ExperimentSeries
 from repro.utils.validation import check_positive_int
 
 __all__ = ["plot_series"]

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ValidationError
-from repro.experiments.config import ExperimentSeries
+from repro.api.config import ExperimentSeries
 
 __all__ = ["series_to_rows", "render_series"]
 

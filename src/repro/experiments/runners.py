@@ -1,28 +1,30 @@
 """Runners regenerating the paper's four figures and Theorem 5.2.
 
-Each runner reproduces one experiment's sweep exactly as Section 7 / 8.2
-describes it, averaging over ``config.n_trials`` independent datasets per
-sweep point, and returns an :class:`ExperimentSeries` with one RMSE curve
-per attack.
+Each runner is now a thin wrapper over the declarative API: it builds
+the corresponding built-in :class:`~repro.api.spec.ExperimentSpec`
+(:mod:`repro.api.builtin`), executes it through
+:func:`~repro.api.runner.run_spec`, and returns the aggregated
+:class:`~repro.api.config.ExperimentSeries`.
 
-Execution goes through :mod:`repro.engine`: a runner expands its sweep
-into one :class:`~repro.engine.jobs.JobSpec` per (sweep-point, trial),
-hands the list to an :class:`~repro.engine.Engine`, and aggregates the
-returned payloads.  Every job derives its generator from ``(config.seed,
-(point_index, trial_index))`` — the same ``spawn_generators`` tree the
-historical serial loops used — so any executor backend, worker count, or
-cached rerun produces bit-identical series, and extending a sweep never
-changes existing points.
+The specs compile into exactly the engine jobs the historical
+hand-written loops emitted — same task references, same params, same
+``(config.seed, (point_index, trial_index))`` seed tree — so any
+executor backend, worker count, or cached rerun produces bit-identical
+series, and extending a sweep never changes existing points.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.data.spectra import two_level_spectrum
-from repro.engine import Engine, JobSpec
-from repro.exceptions import ConfigurationError
-from repro.experiments.config import ExperimentSeries, SweepConfig
+from repro.api.builtin import (
+    figure1_spec,
+    figure2_spec,
+    figure3_spec,
+    figure4_spec,
+    theorem52_spec,
+)
+from repro.api.config import ExperimentSeries, SweepConfig
+from repro.api.runner import run_spec
+from repro.engine import Engine
 
 __all__ = [
     "run_experiment1_attributes",
@@ -31,66 +33,6 @@ __all__ = [
     "run_experiment4_correlated_noise",
     "run_theorem52_verification",
 ]
-
-#: Attack battery of Experiments 1-3 (the four curves of Figures 1-3).
-_FIGURE_METHODS = ("UDR", "SF", "PCA-DR", "BE-DR")
-
-_TWO_LEVEL_TASK = "repro.experiments.tasks:two_level_trial"
-_CORRELATED_TASK = "repro.experiments.tasks:correlated_noise_trial"
-_THEOREM52_TASK = "repro.experiments.tasks:theorem52_check"
-
-
-def _run_two_level_sweep(
-    name: str,
-    x_label: str,
-    sweep_points,
-    spectrum_for_point,
-    config: SweepConfig,
-    engine: Engine | None = None,
-) -> ExperimentSeries:
-    """Shared sweep for Experiments 1-3 (i.i.d. noise, two-level spectra)."""
-    points = list(sweep_points)
-    if not points:
-        raise ConfigurationError("sweep has no points")
-    engine = engine or Engine()
-
-    specs = []
-    for index, point in enumerate(points):
-        spectrum = np.asarray(spectrum_for_point(point), dtype=np.float64)
-        for trial in range(config.n_trials):
-            specs.append(
-                JobSpec(
-                    task=_TWO_LEVEL_TASK,
-                    params={
-                        "spectrum": spectrum.tolist(),
-                        "n_records": config.n_records,
-                        "noise_std": config.noise_std,
-                    },
-                    seed_root=config.seed,
-                    seed_path=(index, trial),
-                )
-            )
-    results = engine.run(specs)
-
-    curves = {method: np.zeros(len(points)) for method in _FIGURE_METHODS}
-    for job_index, result in enumerate(results):
-        point_index = job_index // config.n_trials
-        for method in _FIGURE_METHODS:
-            curves[method][point_index] += result.values["rmse"][method]
-    for method in _FIGURE_METHODS:
-        curves[method] /= config.n_trials
-
-    return ExperimentSeries(
-        name=name,
-        x_label=x_label,
-        x_values=np.asarray(points, dtype=np.float64),
-        series=curves,
-        metadata={
-            "n_records": config.n_records,
-            "noise_std": config.noise_std,
-            "n_trials": config.n_trials,
-        },
-    )
 
 
 def run_experiment1_attributes(
@@ -106,39 +48,10 @@ def run_experiment1_attributes(
     while ``m`` grows, so correlations rise with ``m``.  Eq. 12 keeps the
     trace at ``variance_per_attribute * m`` so UDR stays flat.
     """
-    config = config or SweepConfig()
-    if attribute_counts is None:
-        attribute_counts = [5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
-    counts = [int(m) for m in attribute_counts]
-    if any(m < n_principal for m in counts):
-        raise ConfigurationError(
-            f"all attribute counts must be >= n_principal={n_principal}"
-        )
-
-    def spectrum_for(m: int):
-        if m == n_principal:
-            # Degenerate first point: every component is principal.
-            return two_level_spectrum(
-                m, m, total_variance=config.trace_for(m),
-                non_principal_value=config.non_principal_value,
-            )
-        return two_level_spectrum(
-            m,
-            n_principal,
-            total_variance=config.trace_for(m),
-            non_principal_value=config.non_principal_value,
-        )
-
-    series = _run_two_level_sweep(
-        "figure1",
-        "number of attributes (m)",
-        counts,
-        spectrum_for,
-        config,
-        engine,
+    spec = figure1_spec(
+        config, attribute_counts=attribute_counts, n_principal=n_principal
     )
-    series.metadata["n_principal"] = n_principal
-    return series
+    return run_spec(spec, engine=engine).to_series()
 
 
 def run_experiment2_principal_components(
@@ -153,34 +66,10 @@ def run_experiment2_principal_components(
     ``m`` is fixed at 100; growing ``p`` spreads the (fixed, Eq. 12)
     total variance over more directions, weakening correlations.
     """
-    config = config or SweepConfig()
-    if principal_counts is None:
-        principal_counts = [2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
-    counts = [int(p) for p in principal_counts]
-    if any(p < 1 or p > n_attributes for p in counts):
-        raise ConfigurationError(
-            f"principal counts must lie in [1, {n_attributes}]"
-        )
-    trace = config.trace_for(n_attributes)
-
-    def spectrum_for(p: int):
-        return two_level_spectrum(
-            n_attributes,
-            p,
-            total_variance=trace,
-            non_principal_value=config.non_principal_value,
-        )
-
-    series = _run_two_level_sweep(
-        "figure2",
-        "number of principal components (p)",
-        counts,
-        spectrum_for,
-        config,
-        engine,
+    spec = figure2_spec(
+        config, principal_counts=principal_counts, n_attributes=n_attributes
     )
-    series.metadata["n_attributes"] = n_attributes
-    return series
+    return run_spec(spec, engine=engine).to_series()
 
 
 def run_experiment3_nonprincipal_eigenvalues(
@@ -200,39 +89,14 @@ def run_experiment3_nonprincipal_eigenvalues(
     discards it and eventually does worse than UDR, while BE-DR
     converges to UDR from below (Section 7.4).
     """
-    config = config or SweepConfig()
-    if eigenvalues is None:
-        eigenvalues = [1, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50]
-    values = [float(e) for e in eigenvalues]
-    if any(e <= 0.0 or e > principal_value for e in values):
-        raise ConfigurationError(
-            f"non-principal eigenvalues must lie in (0, {principal_value}]"
-        )
-
-    def spectrum_for(e: float):
-        return two_level_spectrum(
-            n_attributes,
-            n_principal,
-            principal_value=principal_value,
-            non_principal_value=e,
-        )
-
-    series = _run_two_level_sweep(
-        "figure3",
-        "eigenvalue of the non-principal components",
-        values,
-        spectrum_for,
+    spec = figure3_spec(
         config,
-        engine,
+        eigenvalues=eigenvalues,
+        n_attributes=n_attributes,
+        n_principal=n_principal,
+        principal_value=principal_value,
     )
-    series.metadata.update(
-        {
-            "n_attributes": n_attributes,
-            "n_principal": n_principal,
-            "principal_value": principal_value,
-        }
-    )
-    return series
+    return run_spec(spec, engine=engine).to_series()
 
 
 def run_experiment4_correlated_noise(
@@ -255,65 +119,13 @@ def run_experiment4_correlated_noise(
     The x-axis is the *measured* Definition-8.1 dissimilarity; curves are
     SF, PCA-DR, and the improved BE-DR (Theorem 8.1).
     """
-    config = config or SweepConfig()
-    if profiles is None:
-        profiles = [0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0]
-    profile_values = [float(t) for t in profiles]
-    engine = engine or Engine()
-    noise_power = n_attributes * config.noise_std**2
-    trace = config.trace_for(n_attributes)
-    spectrum = two_level_spectrum(
-        n_attributes,
-        n_principal,
-        total_variance=trace,
-        non_principal_value=config.non_principal_value,
+    spec = figure4_spec(
+        config,
+        profiles=profiles,
+        n_attributes=n_attributes,
+        n_principal=n_principal,
     )
-    methods = ["SF", "PCA-DR", "BE-DR"]
-
-    specs = []
-    for index, profile in enumerate(profile_values):
-        for trial in range(config.n_trials):
-            specs.append(
-                JobSpec(
-                    task=_CORRELATED_TASK,
-                    params={
-                        "spectrum": np.asarray(spectrum).tolist(),
-                        "n_records": config.n_records,
-                        "noise_power": noise_power,
-                        "profile": profile,
-                    },
-                    seed_root=config.seed,
-                    seed_path=(index, trial),
-                )
-            )
-    results = engine.run(specs)
-
-    curves = {method: np.zeros(len(profile_values)) for method in methods}
-    dissimilarities = np.zeros(len(profile_values))
-    for job_index, result in enumerate(results):
-        point_index = job_index // config.n_trials
-        dissimilarities[point_index] += result.values["dissimilarity"]
-        for method in methods:
-            curves[method][point_index] += result.values["rmse"][method]
-    dissimilarities /= config.n_trials
-    for method in methods:
-        curves[method] /= config.n_trials
-
-    return ExperimentSeries(
-        name="figure4",
-        x_label="correlation dissimilarity (noise vs data)",
-        x_values=dissimilarities,
-        series=curves,
-        metadata={
-            "n_records": config.n_records,
-            "noise_power": noise_power,
-            "profiles": profile_values,
-            "independent_noise_profile": 1.0,
-            "n_attributes": n_attributes,
-            "n_principal": n_principal,
-            "n_trials": config.n_trials,
-        },
-    )
+    return run_spec(spec, engine=engine).to_series()
 
 
 def run_theorem52_verification(
@@ -333,37 +145,11 @@ def run_theorem52_verification(
     generator is the root ``SeedSequence(seed)`` — identical to the
     historical direct computation.
     """
-    counts = [int(p) for p in component_counts]
-    for p in counts:
-        if not 1 <= p <= n_attributes:
-            raise ConfigurationError(
-                f"component counts must lie in [1, {n_attributes}]"
-            )
-    engine = engine or Engine()
-    spec = JobSpec(
-        task=_THEOREM52_TASK,
-        params={
-            "n_attributes": n_attributes,
-            "component_counts": counts,
-            "noise_std": noise_std,
-            "n_records": n_records,
-        },
-        seed_root=seed,
-        seed_path=(),
+    spec = theorem52_spec(
+        n_attributes=n_attributes,
+        component_counts=component_counts,
+        noise_std=noise_std,
+        n_records=n_records,
+        seed=seed,
     )
-    (result,) = engine.run([spec])
-
-    return ExperimentSeries(
-        name="theorem52",
-        x_label="number of principal components (p)",
-        x_values=np.asarray(counts, dtype=np.float64),
-        series={
-            "empirical": np.asarray(result.values["empirical"]),
-            "analytic": np.asarray(result.values["analytic"]),
-        },
-        metadata={
-            "n_attributes": n_attributes,
-            "noise_std": noise_std,
-            "n_records": n_records,
-        },
-    )
+    return run_spec(spec, engine=engine).to_series()

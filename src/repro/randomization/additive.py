@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.randomization.base import NoiseModel, RandomizationScheme
+from repro.registry import check_spec, register_scheme
 from repro.stats.density import Density, GaussianDensity, UniformDensity
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_in_range
@@ -24,6 +25,7 @@ __all__ = ["AdditiveNoiseScheme"]
 _FAMILIES = ("gaussian", "uniform")
 
 
+@register_scheme("additive")
 class AdditiveNoiseScheme(RandomizationScheme):
     """I.i.d. additive noise with a chosen family and standard deviation.
 
@@ -62,6 +64,16 @@ class AdditiveNoiseScheme(RandomizationScheme):
     def family(self) -> str:
         """Noise family name."""
         return self._family
+
+    def to_spec(self) -> dict:
+        return {"kind": "additive", "std": self._std, "family": self._family}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "AdditiveNoiseScheme":
+        check_spec(spec, "additive", required=("std",), optional=("family",))
+        return cls(
+            std=float(spec["std"]), family=spec.get("family", "gaussian")
+        )
 
     def marginal_density(self) -> Density:
         """Univariate density of the noise on one attribute (``f_R``)."""

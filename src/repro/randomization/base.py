@@ -16,12 +16,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.utils.serialization import values_equal
 from repro.utils.validation import check_matrix
 
 __all__ = ["NoiseModel", "DisguisedDataset", "RandomizationScheme"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class NoiseModel:
     """Public description of the perturbing noise.
 
@@ -57,6 +58,18 @@ class NoiseModel:
         object.__setattr__(self, "covariance", (cov + cov.T) / 2.0)
         object.__setattr__(self, "mean", mean)
 
+    def __eq__(self, other) -> bool:
+        # dataclass-generated equality compares ndarray fields with
+        # ``==`` and dies on the ambiguous-truth ValueError; compare the
+        # arrays element-wise instead.
+        if not isinstance(other, NoiseModel):
+            return NotImplemented
+        return (
+            self.family == other.family
+            and values_equal(self.mean, other.mean)
+            and values_equal(self.covariance, other.covariance)
+        )
+
     @property
     def dim(self) -> int:
         """Number of attributes the noise covers."""
@@ -88,7 +101,7 @@ class NoiseModel:
         return float(self.covariance[0, 0])
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class DisguisedDataset:
     """The published, randomized table plus the adversary's knowledge.
 
@@ -127,6 +140,16 @@ class DisguisedDataset:
         object.__setattr__(self, "original", original)
         object.__setattr__(self, "noise", noise)
 
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DisguisedDataset):
+            return NotImplemented
+        return (
+            self.noise_model == other.noise_model
+            and values_equal(self.disguised, other.disguised)
+            and values_equal(self.original, other.original)
+            and values_equal(self.noise, other.noise)
+        )
+
     @property
     def n_records(self) -> int:
         """Number of rows ``n``."""
@@ -145,7 +168,21 @@ class DisguisedDataset:
 
 
 class RandomizationScheme(abc.ABC):
-    """A data-disguising mechanism producing ``Y = X + R``."""
+    """A data-disguising mechanism producing ``Y = X + R``.
+
+    Subclasses registered with :func:`repro.registry.register_scheme`
+    additionally implement ``to_spec()`` / ``from_spec(spec)`` so the
+    scheme is constructible from a plain JSON-safe dict; unregistered
+    schemes simply cannot appear in serialized experiment specs.
+    """
+
+    def to_spec(self) -> dict:
+        """JSON-safe description; overridden by registered schemes."""
+        raise ValidationError(
+            f"{type(self).__name__} does not support spec serialization; "
+            "register it with repro.registry.register_scheme and "
+            "implement to_spec()/from_spec()"
+        )
 
     @abc.abstractmethod
     def noise_model(self, n_attributes: int) -> NoiseModel:

@@ -19,12 +19,14 @@ import numpy as np
 from repro.exceptions import ValidationError
 from repro.linalg.psd import cholesky_with_jitter, is_positive_semidefinite
 from repro.randomization.base import NoiseModel, RandomizationScheme
+from repro.registry import check_spec, register_scheme
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_symmetric
 
 __all__ = ["CorrelatedNoiseScheme"]
 
 
+@register_scheme("correlated")
 class CorrelatedNoiseScheme(RandomizationScheme):
     """Zero-mean multivariate-Gaussian noise with a full covariance.
 
@@ -75,6 +77,14 @@ class CorrelatedNoiseScheme(RandomizationScheme):
     def total_power(self) -> float:
         """Trace of the noise covariance — total variance across attributes."""
         return float(np.trace(self._cov))
+
+    def to_spec(self) -> dict:
+        return {"kind": "correlated", "covariance": self._cov.tolist()}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "CorrelatedNoiseScheme":
+        check_spec(spec, "correlated", required=("covariance",))
+        return cls(np.asarray(spec["covariance"], dtype=np.float64))
 
     def noise_model(self, n_attributes: int) -> NoiseModel:
         if n_attributes != self._cov.shape[0]:

@@ -17,12 +17,13 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.randomization.base import DisguisedDataset, NoiseModel
+from repro.utils.serialization import values_equal
 from repro.utils.validation import check_matrix
 
 __all__ = ["ReconstructionResult", "Reconstructor"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class ReconstructionResult:
     """Output of a reconstruction attack.
 
@@ -48,6 +49,19 @@ class ReconstructionResult:
         object.__setattr__(self, "estimate", matrix)
         if not self.method:
             raise ValidationError("'method' must be a non-empty string")
+
+    def __eq__(self, other) -> bool:
+        # The generated dataclass __eq__ would compare ``estimate``
+        # arrays with ``==`` and raise the ambiguous-truth ValueError;
+        # compare element-wise (nan-aware, so round-tripped results with
+        # nan diagnostics still compare equal).
+        if not isinstance(other, ReconstructionResult):
+            return NotImplemented
+        return (
+            self.method == other.method
+            and values_equal(self.estimate, other.estimate)
+            and values_equal(self.details, other.details)
+        )
 
     @property
     def n_records(self) -> int:
@@ -77,6 +91,14 @@ class Reconstructor(abc.ABC):
 
     #: Short display name, overridden by subclasses.
     name: str = "base"
+
+    def to_spec(self) -> dict:
+        """JSON-safe description; overridden by registered attacks."""
+        raise ValidationError(
+            f"{type(self).__name__} does not support spec serialization; "
+            "register it with repro.registry.register_attack and "
+            "implement to_spec()/from_spec()"
+        )
 
     def reconstruct(
         self,

@@ -32,11 +32,13 @@ from repro.linalg.covariance import covariance_from_disguised
 from repro.linalg.psd import psd_inverse
 from repro.randomization.base import NoiseModel
 from repro.reconstruction.base import ReconstructionResult, Reconstructor
+from repro.registry import check_spec, register_attack
 from repro.utils.validation import check_symmetric, check_vector
 
 __all__ = ["BayesEstimateReconstructor"]
 
 
+@register_attack("be-dr")
 class BayesEstimateReconstructor(Reconstructor):
     """The paper's Bayes-estimate reconstruction attack.
 
@@ -76,6 +78,44 @@ class BayesEstimateReconstructor(Reconstructor):
                 f"got {covariance_estimator!r}"
             )
         self._covariance_estimator = covariance_estimator
+
+    def to_spec(self) -> dict:
+        spec: dict = {
+            "kind": "be-dr",
+            "covariance_estimator": self._covariance_estimator,
+        }
+        if self._oracle_covariance is not None:
+            spec["oracle_covariance"] = self._oracle_covariance.tolist()
+        if self._oracle_mean is not None:
+            spec["oracle_mean"] = self._oracle_mean.tolist()
+        return spec
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "BayesEstimateReconstructor":
+        check_spec(
+            spec,
+            "be-dr",
+            optional=(
+                "oracle_covariance",
+                "oracle_mean",
+                "covariance_estimator",
+            ),
+        )
+        oracle_cov = spec.get("oracle_covariance")
+        oracle_mean = spec.get("oracle_mean")
+        return cls(
+            oracle_covariance=(
+                None
+                if oracle_cov is None
+                else np.asarray(oracle_cov, dtype=np.float64)
+            ),
+            oracle_mean=(
+                None
+                if oracle_mean is None
+                else np.asarray(oracle_mean, dtype=np.float64)
+            ),
+            covariance_estimator=spec.get("covariance_estimator", "sample"),
+        )
 
     def _reconstruct(
         self, disguised: np.ndarray, noise_model: NoiseModel

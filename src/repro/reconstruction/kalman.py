@@ -32,11 +32,13 @@ from repro.linalg.covariance import sample_covariance
 from repro.linalg.psd import nearest_psd, psd_inverse
 from repro.randomization.base import NoiseModel
 from repro.reconstruction.base import ReconstructionResult, Reconstructor
+from repro.registry import check_spec, register_attack
 from repro.utils.validation import check_in_range
 
 __all__ = ["KalmanSmootherReconstructor"]
 
 
+@register_attack("kalman")
 class KalmanSmootherReconstructor(Reconstructor):
     """State-space smoother attack for serially dependent tables.
 
@@ -56,6 +58,16 @@ class KalmanSmootherReconstructor(Reconstructor):
             max_spectral_radius, "max_spectral_radius",
             low=0.0, high=1.0,
             inclusive_low=False, inclusive_high=False,
+        )
+
+    def to_spec(self) -> dict:
+        return {"kind": "kalman", "max_spectral_radius": self._max_radius}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "KalmanSmootherReconstructor":
+        check_spec(spec, "kalman", optional=("max_spectral_radius",))
+        return cls(
+            max_spectral_radius=float(spec.get("max_spectral_radius", 0.995))
         )
 
     def _reconstruct(

@@ -12,10 +12,12 @@ import numpy as np
 
 from repro.randomization.base import NoiseModel
 from repro.reconstruction.base import ReconstructionResult, Reconstructor
+from repro.registry import check_spec, register_attack
 
 __all__ = ["NoiseDistributionReconstructor"]
 
 
+@register_attack("ndr")
 class NoiseDistributionReconstructor(Reconstructor):
     """Guess ``X_hat = Y`` (equivalently, guess the noise is zero).
 
@@ -25,6 +27,14 @@ class NoiseDistributionReconstructor(Reconstructor):
     """
 
     name = "NDR"
+
+    def to_spec(self) -> dict:
+        return {"kind": "ndr"}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "NoiseDistributionReconstructor":
+        check_spec(spec, "ndr")
+        return cls()
 
     def _reconstruct(
         self, disguised: np.ndarray, noise_model: NoiseModel

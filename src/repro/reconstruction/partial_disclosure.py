@@ -33,12 +33,14 @@ from repro.linalg.covariance import covariance_from_disguised
 from repro.linalg.psd import nearest_psd, psd_inverse
 from repro.randomization.base import NoiseModel
 from repro.reconstruction.base import ReconstructionResult, Reconstructor
+from repro.registry import check_spec, register_attack
 from repro.stats.mvn import MultivariateNormal
 from repro.utils.validation import check_matrix
 
 __all__ = ["ConditionalDisclosureReconstructor"]
 
 
+@register_attack("conditional")
 class ConditionalDisclosureReconstructor(Reconstructor):
     """BE-DR with side-channel knowledge of some attributes.
 
@@ -76,6 +78,35 @@ class ConditionalDisclosureReconstructor(Reconstructor):
                 f"{indices.size} known indices"
             )
         self._oracle_covariance = oracle_covariance
+
+    def to_spec(self) -> dict:
+        spec: dict = {
+            "kind": "conditional",
+            "known_indices": self._known_indices.tolist(),
+            "known_values": self._known_values.tolist(),
+        }
+        if self._oracle_covariance is not None:
+            spec["oracle_covariance"] = np.asarray(
+                self._oracle_covariance
+            ).tolist()
+        return spec
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "ConditionalDisclosureReconstructor":
+        check_spec(
+            spec,
+            "conditional",
+            required=("known_indices", "known_values"),
+            optional=("oracle_covariance",),
+        )
+        oracle = spec.get("oracle_covariance")
+        return cls(
+            np.asarray(spec["known_indices"], dtype=np.intp),
+            np.asarray(spec["known_values"], dtype=np.float64),
+            oracle_covariance=(
+                None if oracle is None else np.asarray(oracle, dtype=np.float64)
+            ),
+        )
 
     def _reconstruct(
         self, disguised: np.ndarray, noise_model: NoiseModel

@@ -28,12 +28,18 @@ from repro.linalg.covariance import covariance_from_disguised
 from repro.linalg.eigen import sorted_eigh
 from repro.randomization.base import NoiseModel
 from repro.reconstruction.base import ReconstructionResult, Reconstructor
-from repro.reconstruction.selection import ComponentSelector, LargestGapSelector
+from repro.reconstruction.selection import (
+    ComponentSelector,
+    LargestGapSelector,
+    selector_from_spec,
+)
+from repro.registry import check_spec, register_attack
 from repro.utils.validation import check_symmetric
 
 __all__ = ["PCAReconstructor"]
 
 
+@register_attack("pca-dr")
 class PCAReconstructor(Reconstructor):
     """The paper's PCA-based reconstruction attack.
 
@@ -87,6 +93,37 @@ class PCAReconstructor(Reconstructor):
     def selector(self) -> ComponentSelector:
         """The component-selection strategy in use."""
         return self._selector
+
+    def to_spec(self) -> dict:
+        spec: dict = {
+            "kind": "pca-dr",
+            "selector": self._selector.to_spec(),
+            "covariance_estimator": self._covariance_estimator,
+        }
+        if self._oracle_covariance is not None:
+            spec["oracle_covariance"] = self._oracle_covariance.tolist()
+        return spec
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "PCAReconstructor":
+        check_spec(
+            spec,
+            "pca-dr",
+            optional=("selector", "oracle_covariance", "covariance_estimator"),
+        )
+        selector = (
+            selector_from_spec(spec["selector"])
+            if "selector" in spec
+            else None
+        )
+        oracle = spec.get("oracle_covariance")
+        return cls(
+            selector,
+            oracle_covariance=(
+                None if oracle is None else np.asarray(oracle, dtype=np.float64)
+            ),
+            covariance_estimator=spec.get("covariance_estimator", "sample"),
+        )
 
     def _reconstruct(
         self, disguised: np.ndarray, noise_model: NoiseModel

@@ -26,6 +26,8 @@ __all__ = [
     "FixedCountSelector",
     "EnergyFractionSelector",
     "LargestGapSelector",
+    "selector_from_spec",
+    "selector_to_spec",
 ]
 
 
@@ -39,6 +41,12 @@ class ComponentSelector(abc.ABC):
         ``eigenvalues`` are sorted descending; the return value must lie
         in ``[1, len(eigenvalues)]``.
         """
+
+    def to_spec(self) -> dict:
+        """JSON-safe description; overridden by the built-in selectors."""
+        raise ValidationError(
+            f"{type(self).__name__} does not support spec serialization"
+        )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -72,6 +80,9 @@ class FixedCountSelector(ComponentSelector):
             raise ValidationError("'eigenvalues' must be non-empty")
         return min(self._count, m)
 
+    def to_spec(self) -> dict:
+        return {"kind": "fixed", "count": self._count}
+
     def __repr__(self) -> str:
         return f"FixedCountSelector(count={self._count})"
 
@@ -102,6 +113,9 @@ class EnergyFractionSelector(ComponentSelector):
     def select(self, eigenvalues: np.ndarray) -> int:
         return spectrum_energy_fraction(eigenvalues, self._fraction)
 
+    def to_spec(self) -> dict:
+        return {"kind": "energy", "fraction": self._fraction}
+
     def __repr__(self) -> str:
         return f"EnergyFractionSelector(fraction={self._fraction:g})"
 
@@ -130,5 +144,44 @@ class LargestGapSelector(ComponentSelector):
     def select(self, eigenvalues: np.ndarray) -> int:
         return eigen_gap_split(eigenvalues, max_rank=self._max_rank)
 
+    def to_spec(self) -> dict:
+        spec: dict = {"kind": "largest-gap"}
+        if self._max_rank is not None:
+            spec["max_rank"] = self._max_rank
+        return spec
+
     def __repr__(self) -> str:
         return f"LargestGapSelector(max_rank={self._max_rank})"
+
+
+def selector_to_spec(selector: ComponentSelector) -> dict:
+    """Spec dict of a component selector."""
+    if not isinstance(selector, ComponentSelector):
+        raise ValidationError(
+            f"expected a ComponentSelector, got {type(selector).__name__}"
+        )
+    return selector.to_spec()
+
+
+def selector_from_spec(spec: dict) -> ComponentSelector:
+    """Rebuild a component selector from its spec dict."""
+    from repro.registry import check_spec
+
+    if not isinstance(spec, dict) or not isinstance(spec.get("kind"), str):
+        raise ValidationError(
+            f"selector spec must be a dict with a string 'kind', got {spec!r}"
+        )
+    kind = spec["kind"]
+    if kind == "fixed":
+        check_spec(spec, "fixed", required=("count",))
+        return FixedCountSelector(int(spec["count"]))
+    if kind == "energy":
+        check_spec(spec, "energy", required=("fraction",))
+        return EnergyFractionSelector(float(spec["fraction"]))
+    if kind == "largest-gap":
+        check_spec(spec, "largest-gap", optional=("max_rank",))
+        max_rank = spec.get("max_rank")
+        return LargestGapSelector(None if max_rank is None else int(max_rank))
+    raise ValidationError(
+        f"unknown selector kind {kind!r}; known: fixed, energy, largest-gap"
+    )

@@ -30,6 +30,7 @@ from repro.linalg.covariance import sample_covariance
 from repro.linalg.eigen import sorted_eigh
 from repro.randomization.base import NoiseModel
 from repro.reconstruction.base import ReconstructionResult, Reconstructor
+from repro.registry import check_spec, register_attack
 from repro.utils.validation import check_in_range, check_positive_int
 
 __all__ = ["marchenko_pastur_bounds", "SpectralFilteringReconstructor"]
@@ -70,6 +71,7 @@ def marchenko_pastur_bounds(
     return lower, upper
 
 
+@register_attack("sf")
 class SpectralFilteringReconstructor(Reconstructor):
     """Kargupta et al.'s spectral-filtering attack.
 
@@ -90,6 +92,14 @@ class SpectralFilteringReconstructor(Reconstructor):
     def tolerance(self) -> float:
         """Slack applied to the Marchenko-Pastur upper edge."""
         return self._tolerance
+
+    def to_spec(self) -> dict:
+        return {"kind": "sf", "tolerance": self._tolerance}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "SpectralFilteringReconstructor":
+        check_spec(spec, "sf", optional=("tolerance",))
+        return cls(tolerance=float(spec.get("tolerance", 0.05)))
 
     def _reconstruct(
         self, disguised: np.ndarray, noise_model: NoiseModel

@@ -39,6 +39,7 @@ from repro.exceptions import ValidationError
 from repro.randomization.base import NoiseModel
 from repro.randomization.distribution_recon import reconstruct_distribution
 from repro.reconstruction.base import ReconstructionResult, Reconstructor
+from repro.registry import check_spec, register_attack
 from repro.stats.density import Density, GaussianDensity, UniformDensity
 from repro.utils.validation import check_positive_int
 
@@ -67,6 +68,7 @@ def noise_marginal_density(noise_model: NoiseModel, attribute: int) -> Density:
     return GaussianDensity(mean, std)
 
 
+@register_attack("udr")
 class UnivariateReconstructor(Reconstructor):
     """The paper's UDR benchmark attack.
 
@@ -114,6 +116,31 @@ class UnivariateReconstructor(Reconstructor):
     def prior_mode(self) -> str:
         """Which prior source is configured."""
         return self._prior_mode
+
+    def to_spec(self) -> dict:
+        if self._prior_mode == "explicit":
+            # Density objects are arbitrary code, not data.
+            raise ValidationError(
+                "UDR with explicit density priors is not spec-serializable;"
+                " use the 'gaussian' or 'reconstructed' prior"
+            )
+        return {
+            "kind": "udr",
+            "prior": self._prior_mode,
+            "n_grid": self._n_grid,
+            "n_bins": self._n_bins,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "UnivariateReconstructor":
+        check_spec(
+            spec, "udr", optional=("prior", "n_grid", "n_bins")
+        )
+        return cls(
+            prior=spec.get("prior", "gaussian"),
+            n_grid=int(spec.get("n_grid", 257)),
+            n_bins=int(spec.get("n_bins", 64)),
+        )
 
     def _reconstruct(
         self, disguised: np.ndarray, noise_model: NoiseModel

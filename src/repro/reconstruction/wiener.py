@@ -22,11 +22,13 @@ from repro.exceptions import ValidationError
 from repro.linalg.psd import nearest_psd, psd_inverse
 from repro.randomization.base import NoiseModel
 from repro.reconstruction.base import ReconstructionResult, Reconstructor
+from repro.registry import check_spec, register_attack
 from repro.utils.validation import check_positive_int
 
 __all__ = ["WienerSmootherReconstructor"]
 
 
+@register_attack("wiener")
 class WienerSmootherReconstructor(Reconstructor):
     """Sliding-window linear MMSE smoother for ``Y_t = X_t + R_t``.
 
@@ -64,6 +66,22 @@ class WienerSmootherReconstructor(Reconstructor):
     def window(self) -> int:
         """Sliding-window length."""
         return self._window
+
+    def to_spec(self) -> dict:
+        return {
+            "kind": "wiener",
+            "window": self._window,
+            "max_lag": self._max_lag,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "WienerSmootherReconstructor":
+        check_spec(spec, "wiener", optional=("window", "max_lag"))
+        max_lag = spec.get("max_lag")
+        return cls(
+            window=int(spec.get("window", 21)),
+            max_lag=None if max_lag is None else int(max_lag),
+        )
 
     def _reconstruct(
         self, disguised: np.ndarray, noise_model: NoiseModel

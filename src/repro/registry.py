@@ -1,0 +1,219 @@
+"""String-keyed component registries backing the declarative API.
+
+Every building block of an experiment — randomization scheme,
+reconstruction attack, dataset generator — registers itself under a
+short string key with :func:`register_scheme`, :func:`register_attack`,
+or :func:`register_dataset`.  A registered class provides two methods:
+
+``to_spec(self) -> dict``
+    A plain JSON-safe dict describing the instance, always carrying the
+    registry key under ``"kind"``.
+
+``from_spec(cls, spec: dict) -> instance``
+    The inverse constructor.  ``Registry.create(spec)`` dispatches on
+    ``spec["kind"]`` and calls it.
+
+This is what makes experiments *data*: an
+:class:`~repro.api.spec.ExperimentSpec` references components purely by
+these dicts, so any scheme x attack x dataset combination can be written
+as JSON, shipped to worker processes, cached, and rerun bit-identically
+without touching library code.
+
+Registration happens at class-definition time in the component modules;
+:meth:`Registry._ensure_loaded` imports those modules on first use so a
+bare ``import repro.registry`` still sees the full catalog.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "Registry",
+    "SCHEMES",
+    "ATTACKS",
+    "DATASETS",
+    "register_scheme",
+    "register_attack",
+    "register_dataset",
+    "check_spec",
+    "component_to_spec",
+]
+
+
+def check_spec(spec, kind: str, *, required=(), optional=()) -> dict:
+    """Validate a component spec dict eagerly and return it.
+
+    Checks that ``spec`` is a dict whose ``"kind"`` matches, that every
+    required field is present, and that no unknown fields sneak in (a
+    typoed parameter should fail at spec construction, not silently
+    fall back to a default inside a 10k-job sweep).
+    """
+    if not isinstance(spec, dict):
+        raise ValidationError(
+            f"component spec must be a dict, got {type(spec).__name__}"
+        )
+    if spec.get("kind") != kind:
+        raise ValidationError(
+            f"spec kind {spec.get('kind')!r} does not match {kind!r}"
+        )
+    allowed = {"kind", *required, *optional}
+    unknown = sorted(set(spec) - allowed)
+    if unknown:
+        raise ValidationError(
+            f"unknown field(s) {unknown} in {kind!r} spec; allowed: "
+            f"{sorted(allowed)}"
+        )
+    missing = sorted(set(required) - set(spec))
+    if missing:
+        raise ValidationError(
+            f"{kind!r} spec is missing required field(s) {missing}"
+        )
+    return spec
+
+
+class Registry:
+    """A name-to-class catalog with spec-based construction.
+
+    Parameters
+    ----------
+    label:
+        Human-readable component family name (for error messages).
+    modules:
+        Modules imported lazily before the first lookup, so the classes
+        they define (and register) are guaranteed to be present.
+    """
+
+    def __init__(self, label: str, modules: tuple[str, ...] = ()):
+        self.label = label
+        self._modules = modules
+        self._entries: dict[str, type] = {}
+        self._loaded = False
+
+    def _ensure_loaded(self) -> None:
+        if self._loaded:
+            return
+        for module in self._modules:
+            importlib.import_module(module)
+        # Only after every import succeeded — a failed import must
+        # surface again on the next call, not leave a partial catalog.
+        self._loaded = True
+
+    def register(self, key: str):
+        """Class decorator adding the class under ``key``."""
+        if not isinstance(key, str) or not key:
+            raise ValidationError(f"registry key must be a non-empty string, got {key!r}")
+
+        def decorate(cls):
+            existing = self._entries.get(key)
+            if existing is not None and existing is not cls:
+                raise ValidationError(
+                    f"{self.label} key {key!r} already registered to "
+                    f"{existing.__name__}"
+                )
+            for method in ("from_spec", "to_spec"):
+                if not callable(getattr(cls, method, None)):
+                    raise ValidationError(
+                        f"{cls.__name__} must define {method}() to be "
+                        f"registered as a {self.label}"
+                    )
+            self._entries[key] = cls
+            cls.spec_kind = key
+            return cls
+
+        return decorate
+
+    def names(self) -> list[str]:
+        """All registered keys, sorted."""
+        self._ensure_loaded()
+        return sorted(self._entries)
+
+    def get(self, key: str) -> type:
+        """The class registered under ``key``."""
+        self._ensure_loaded()
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise ValidationError(
+                f"unknown {self.label} {key!r}; registered: {self.names()}"
+            ) from None
+
+    def __contains__(self, key: str) -> bool:
+        self._ensure_loaded()
+        return key in self._entries
+
+    def create(self, spec: dict):
+        """Instantiate the component a spec dict describes."""
+        if not isinstance(spec, dict):
+            raise ValidationError(
+                f"{self.label} spec must be a dict, got {type(spec).__name__}"
+            )
+        kind = spec.get("kind")
+        if not isinstance(kind, str):
+            raise ValidationError(
+                f"{self.label} spec needs a string 'kind' field, got "
+                f"{kind!r}"
+            )
+        return self.get(kind).from_spec(spec)
+
+    def validate(self, spec: dict) -> dict:
+        """Build (and discard) the component, surfacing errors eagerly."""
+        self.create(spec)
+        return spec
+
+    def __repr__(self) -> str:
+        self._ensure_loaded()
+        return f"Registry({self.label!r}, {self.names()})"
+
+
+def component_to_spec(component) -> dict:
+    """A registered component instance's spec dict (convenience)."""
+    to_spec = getattr(component, "to_spec", None)
+    if not callable(to_spec):
+        raise ValidationError(
+            f"{type(component).__name__} does not support spec "
+            "serialization (no to_spec method)"
+        )
+    return to_spec()
+
+
+#: Randomization schemes (``Y = X + R`` mechanisms).
+SCHEMES = Registry(
+    "scheme",
+    (
+        "repro.randomization.additive",
+        "repro.randomization.correlated",
+    ),
+)
+
+#: Reconstruction attacks.
+ATTACKS = Registry(
+    "attack",
+    (
+        "repro.reconstruction.ndr",
+        "repro.reconstruction.udr",
+        "repro.reconstruction.spectral_filtering",
+        "repro.reconstruction.pca_dr",
+        "repro.reconstruction.bedr",
+        "repro.reconstruction.wiener",
+        "repro.reconstruction.kalman",
+        "repro.reconstruction.partial_disclosure",
+    ),
+)
+
+#: Dataset generators (objects with ``sample(n_records, rng=...)``).
+DATASETS = Registry(
+    "dataset",
+    (
+        "repro.data.synthetic",
+        "repro.data.copula",
+        "repro.data.census",
+        "repro.data.timeseries",
+    ),
+)
+
+register_scheme = SCHEMES.register
+register_attack = ATTACKS.register
+register_dataset = DATASETS.register

@@ -1,0 +1,131 @@
+"""Nan-safe JSON conversion and array-aware equality helpers.
+
+Strict JSON has no ``NaN`` / ``Infinity`` literals, yet experiment
+payloads legitimately contain them (a failed attack's RMSE is ``nan``).
+:func:`sanitize_for_json` rewrites every non-finite float into a reserved
+string sentinel (and numpy values into plain Python), producing a payload
+``json.dumps(..., allow_nan=False)`` accepts; :func:`restore_from_json`
+inverts the mapping.  These two functions are the single encoding shared
+by the engine's result cache, :meth:`repro.core.pipeline.PipelineReport.
+to_dict`, and :class:`repro.api.result.ExperimentResult` serialization,
+so a value survives any of those round trips bit-for-bit.
+
+:func:`values_equal` is the matching equality: ndarray-aware (avoiding
+the ambiguous-truth ``ValueError`` plain ``==`` raises) and nan-aware
+(two ``nan`` payloads compare equal, as a round trip demands).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "NAN_SENTINEL",
+    "POS_INF_SENTINEL",
+    "NEG_INF_SENTINEL",
+    "sanitize_for_json",
+    "restore_from_json",
+    "values_equal",
+]
+
+#: Reserved string encodings of the three non-finite doubles.  Payload
+#: strings equal to a sentinel would be decoded as the float, so these
+#: exact strings must not be used as data.
+NAN_SENTINEL = "__nan__"
+POS_INF_SENTINEL = "__inf__"
+NEG_INF_SENTINEL = "__-inf__"
+
+_SENTINELS = {
+    NAN_SENTINEL: float("nan"),
+    POS_INF_SENTINEL: float("inf"),
+    NEG_INF_SENTINEL: float("-inf"),
+}
+
+
+def sanitize_for_json(value):
+    """Recursively convert a payload into strict-JSON-safe plain Python.
+
+    numpy arrays become nested lists, numpy scalars become Python
+    scalars, tuples become lists, and non-finite floats become their
+    string sentinels.  Dict keys must already be strings.
+    """
+    if isinstance(value, np.ndarray):
+        return sanitize_for_json(value.tolist())
+    if isinstance(value, np.generic):
+        return sanitize_for_json(value.item())
+    if isinstance(value, float):
+        if math.isnan(value):
+            return NAN_SENTINEL
+        if math.isinf(value):
+            return POS_INF_SENTINEL if value > 0 else NEG_INF_SENTINEL
+        return value
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [sanitize_for_json(item) for item in value]
+    if isinstance(value, dict):
+        converted = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ValidationError(
+                    f"JSON payload keys must be strings, got {key!r}"
+                )
+            converted[key] = sanitize_for_json(item)
+        return converted
+    raise ValidationError(
+        f"value of type {type(value).__name__} is not JSON-serializable"
+    )
+
+
+def restore_from_json(value):
+    """Invert :func:`sanitize_for_json` (sentinel strings back to floats)."""
+    if isinstance(value, str):
+        return _SENTINELS.get(value, value)
+    if isinstance(value, list):
+        return [restore_from_json(item) for item in value]
+    if isinstance(value, dict):
+        return {key: restore_from_json(item) for key, item in value.items()}
+    return value
+
+
+def _array_equal(a, b) -> bool:
+    first = np.asarray(a)
+    second = np.asarray(b)
+    if first.shape != second.shape:
+        return False
+    try:
+        return bool(np.array_equal(first, second, equal_nan=True))
+    except TypeError:
+        # Non-float dtypes (ints, strings) reject equal_nan.
+        return bool(np.array_equal(first, second))
+
+
+def values_equal(a, b) -> bool:
+    """Structural equality that tolerates ndarrays and ``nan`` leaves."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        if not (
+            isinstance(a, (np.ndarray, list, tuple))
+            and isinstance(b, (np.ndarray, list, tuple))
+        ):
+            return False
+        return _array_equal(a, b)
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(
+            values_equal(a[key], b[key]) for key in a
+        )
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(
+            values_equal(x, y) for x, y in zip(a, b)
+        )
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+        return a == b
+    result = a == b
+    if isinstance(result, np.ndarray):  # pragma: no cover - defensive
+        return bool(result.all())
+    return bool(result)

@@ -1,0 +1,163 @@
+"""Unit tests for ExperimentResult aggregation and serialization."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.api.result import ExperimentResult, aggregate_payloads
+from repro.api.spec import ExperimentSpec
+from repro.engine import JobResult
+from repro.exceptions import ValidationError
+from repro.utils.serialization import NAN_SENTINEL
+
+RAW_TASK = "repro.experiments.tasks:two_level_trial"
+
+
+def raw_spec(n_points, trials=1, **kwargs):
+    return ExperimentSpec(
+        name="agg",
+        task=RAW_TASK,
+        points=tuple({"index": i} for i in range(n_points)),
+        trials=trials,
+        seed=1,
+        **kwargs,
+    )
+
+
+class TestAggregation:
+    def test_nested_dict_payloads_become_labeled_curves(self):
+        spec = raw_spec(2, trials=2)
+        payloads = [
+            [{"rmse": {"UDR": 1.0, "BE-DR": 0.5}},
+             {"rmse": {"UDR": 3.0, "BE-DR": 1.5}}],
+            [{"rmse": {"UDR": 5.0, "BE-DR": 2.0}},
+             {"rmse": {"UDR": 7.0, "BE-DR": 4.0}}],
+        ]
+        x, series = aggregate_payloads(spec, payloads)
+        assert list(series) == ["UDR", "BE-DR"]
+        np.testing.assert_array_equal(series["UDR"], [2.0, 6.0])
+        np.testing.assert_array_equal(series["BE-DR"], [1.0, 3.0])
+        np.testing.assert_array_equal(x, [0.0, 1.0])
+
+    def test_flat_payloads_become_curves(self):
+        spec = raw_spec(2)
+        payloads = [[{"original": 0.9, "disguised": 0.7}],
+                    [{"original": 0.8, "disguised": 0.6}]]
+        _, series = aggregate_payloads(spec, payloads)
+        np.testing.assert_array_equal(series["original"], [0.9, 0.8])
+        np.testing.assert_array_equal(series["disguised"], [0.7, 0.6])
+
+    def test_x_from_key_is_averaged_into_axis(self):
+        spec = raw_spec(2, trials=2, x_from="dissimilarity")
+        payloads = [
+            [{"dissimilarity": 0.2, "rmse": {"SF": 1.0}},
+             {"dissimilarity": 0.4, "rmse": {"SF": 2.0}}],
+            [{"dissimilarity": 1.0, "rmse": {"SF": 3.0}},
+             {"dissimilarity": 2.0, "rmse": {"SF": 4.0}}],
+        ]
+        x, series = aggregate_payloads(spec, payloads)
+        np.testing.assert_allclose(x, [0.3, 1.5])
+        assert "dissimilarity" not in series
+
+    def test_nan_sentinel_decodes_to_nan(self):
+        spec = raw_spec(1)
+        _, series = aggregate_payloads(
+            spec, [[{"rmse": {"SF": NAN_SENTINEL, "UDR": 1.0}}]]
+        )
+        assert math.isnan(series["SF"][0])
+        assert series["UDR"][0] == 1.0
+
+    def test_non_numeric_leaves_skipped(self):
+        spec = raw_spec(1)
+        _, series = aggregate_payloads(
+            spec,
+            [[{"rmse": {"UDR": 1.0}, "errors": {"SF": "boom"}}]],
+        )
+        assert list(series) == ["UDR"]
+
+    def test_list_payload_single_job_becomes_curves(self):
+        spec = raw_spec(1, x_values=[5.0, 20.0, 50.0])
+        x, series = aggregate_payloads(
+            spec, [[{"empirical": [1.0, 2.0, 3.0],
+                     "analytic": [1.1, 2.1, 3.1]}]]
+        )
+        np.testing.assert_array_equal(x, [5.0, 20.0, 50.0])
+        np.testing.assert_array_equal(series["empirical"], [1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(series["analytic"], [1.1, 2.1, 3.1])
+
+    def test_no_numeric_values_rejected(self):
+        spec = raw_spec(1)
+        with pytest.raises(ValidationError, match="no numeric"):
+            aggregate_payloads(spec, [[{"errors": {"SF": "boom"}}]])
+
+    def test_wrong_trial_count_rejected(self):
+        spec = raw_spec(1, trials=2)
+        with pytest.raises(ValidationError, match="payloads"):
+            aggregate_payloads(spec, [[{"rmse": {"UDR": 1.0}}]])
+
+
+def make_result(spec, payload_rows):
+    jobs = spec.compile_jobs()
+    flat = [payload for row in payload_rows for payload in row]
+    results = [
+        JobResult(key=job.key(), values=values, duration=0.1)
+        for job, values in zip(jobs, flat)
+    ]
+    return ExperimentResult.from_job_results(spec, results)
+
+
+class TestExperimentResult:
+    def test_from_job_results_counts(self):
+        spec = raw_spec(2, trials=2)
+        result = make_result(
+            spec,
+            [
+                [{"rmse": {"UDR": 1.0}}, {"rmse": {"UDR": 2.0}}],
+                [{"rmse": {"UDR": 3.0}}, {"rmse": {"UDR": 4.0}}],
+            ],
+        )
+        assert result.stats["jobs"] == 4
+        np.testing.assert_array_equal(result.curve("UDR"), [1.5, 3.5])
+
+    def test_result_count_mismatch_rejected(self):
+        spec = raw_spec(2)
+        with pytest.raises(ValidationError, match="compiled to 2 jobs"):
+            ExperimentResult.from_job_results(spec, [])
+
+    def test_to_series_carries_metadata_and_labels(self):
+        spec = raw_spec(1, x_label="sigma", metadata={"note": "n"})
+        result = make_result(spec, [[{"rmse": {"UDR": 1.0}}]])
+        series = result.to_series()
+        assert series.name == "agg"
+        assert series.x_label == "sigma"
+        assert series.metadata == {"note": "n"}
+
+    def test_json_round_trip_nan_safe(self):
+        spec = raw_spec(2)
+        result = make_result(
+            spec,
+            [[{"rmse": {"UDR": 1.0, "SF": NAN_SENTINEL}}],
+             [{"rmse": {"UDR": 2.0, "SF": 3.0}}]],
+        )
+        text = result.to_json()
+        json.loads(text)  # strict JSON — would fail on a bare NaN token
+        clone = ExperimentResult.from_json(text)
+        assert clone == result
+        assert math.isnan(clone.curve("SF")[0])
+
+    def test_unknown_curve_raises(self):
+        spec = raw_spec(1)
+        result = make_result(spec, [[{"rmse": {"UDR": 1.0}}]])
+        with pytest.raises(KeyError, match="available"):
+            result.curve("nope")
+
+
+class TestXFromGuards:
+    def test_missing_x_from_key_raises_instead_of_zero_axis(self):
+        # Regression: a typoed/missing x_from key used to yield a
+        # silent all-zero x-axis.
+        spec = raw_spec(1, x_from="dissimilarity")
+        with pytest.raises(ValidationError, match="dissimilarity"):
+            aggregate_payloads(spec, [[{"rmse": {"SF": 1.0}}]])

@@ -1,0 +1,50 @@
+"""The old import paths keep working through deprecation shims."""
+
+import warnings
+
+import pytest
+
+
+class TestExperimentsConfigShim:
+    def test_old_imports_warn_and_resolve(self):
+        with pytest.warns(DeprecationWarning, match="repro.api.config"):
+            from repro.experiments.config import SweepConfig  # noqa: F401
+
+    def test_shim_returns_the_same_objects(self):
+        from repro.api import config as new_config
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.experiments import config as old_config
+
+            assert old_config.SweepConfig is new_config.SweepConfig
+            assert old_config.ExperimentSeries is new_config.ExperimentSeries
+            assert (
+                old_config.DEFAULT_NOISE_STD is new_config.DEFAULT_NOISE_STD
+            )
+
+    def test_every_advertised_name_is_reachable(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.experiments import config as old_config
+
+            for name in old_config.__all__:
+                assert getattr(old_config, name) is not None
+
+    def test_unknown_attribute_still_raises(self):
+        from repro.experiments import config as old_config
+
+        with pytest.raises(AttributeError):
+            old_config.not_a_thing
+
+    def test_experiments_package_reexports_without_warning(self):
+        # The package-level names moved to the new import internally, so
+        # `from repro.experiments import SweepConfig` is warning-free.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.experiments import ExperimentSeries, SweepConfig  # noqa: F401
+
+    def test_top_level_api_attribute(self):
+        import repro
+
+        assert repro.api.SweepConfig is not None

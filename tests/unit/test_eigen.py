@@ -5,7 +5,6 @@ import pytest
 
 from repro.exceptions import ValidationError
 from repro.linalg.eigen import (
-    EigenDecomposition,
     eigen_gap_split,
     sorted_eigh,
     spectrum_energy_fraction,

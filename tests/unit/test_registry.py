@@ -1,0 +1,138 @@
+"""Unit tests for the component registries (repro.registry)."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.randomization.additive import AdditiveNoiseScheme
+from repro.reconstruction.bedr import BayesEstimateReconstructor
+from repro.registry import (
+    ATTACKS,
+    DATASETS,
+    SCHEMES,
+    Registry,
+    check_spec,
+    component_to_spec,
+)
+
+
+class TestCatalog:
+    def test_scheme_keys(self):
+        assert SCHEMES.names() == ["additive", "correlated"]
+
+    def test_attack_keys(self):
+        assert ATTACKS.names() == [
+            "be-dr",
+            "conditional",
+            "kalman",
+            "ndr",
+            "pca-dr",
+            "sf",
+            "udr",
+            "wiener",
+        ]
+
+    def test_dataset_keys(self):
+        assert DATASETS.names() == ["census", "copula", "synthetic", "var"]
+
+    def test_contains(self):
+        assert "additive" in SCHEMES
+        assert "nope" not in SCHEMES
+
+    def test_get_unknown_raises_with_catalog(self):
+        with pytest.raises(ValidationError, match="registered"):
+            ATTACKS.get("does-not-exist")
+
+    def test_registered_classes_carry_spec_kind(self):
+        assert AdditiveNoiseScheme.spec_kind == "additive"
+        assert BayesEstimateReconstructor.spec_kind == "be-dr"
+
+
+class TestCreate:
+    def test_dispatches_on_kind(self):
+        scheme = SCHEMES.create({"kind": "additive", "std": 3.0})
+        assert isinstance(scheme, AdditiveNoiseScheme)
+        assert scheme.std == 3.0
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValidationError, match="must be a dict"):
+            SCHEMES.create("additive")
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ValidationError, match="kind"):
+            SCHEMES.create({"std": 3.0})
+
+    def test_validate_surfaces_constructor_errors(self):
+        with pytest.raises(ValidationError):
+            SCHEMES.validate({"kind": "additive", "std": -1.0})
+
+
+class TestRegisterDecorator:
+    def test_duplicate_key_rejected(self):
+        registry = Registry("thing")
+
+        @registry.register("x")
+        class One:
+            def to_spec(self):
+                return {"kind": "x"}
+
+            @classmethod
+            def from_spec(cls, spec):
+                return cls()
+
+        with pytest.raises(ValidationError, match="already registered"):
+
+            @registry.register("x")
+            class Two:
+                def to_spec(self):
+                    return {"kind": "x"}
+
+                @classmethod
+                def from_spec(cls, spec):
+                    return cls()
+
+    def test_missing_protocol_rejected(self):
+        registry = Registry("thing")
+        with pytest.raises(ValidationError, match="from_spec"):
+
+            @registry.register("y")
+            class NoSpec:
+                pass
+
+
+class TestCheckSpec:
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValidationError, match="stdd"):
+            check_spec(
+                {"kind": "additive", "stdd": 5.0}, "additive",
+                required=("std",),
+            )
+
+    def test_missing_required_rejected(self):
+        with pytest.raises(ValidationError, match="missing"):
+            check_spec({"kind": "additive"}, "additive", required=("std",))
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="does not match"):
+            check_spec({"kind": "uniform"}, "additive")
+
+
+class TestComponentToSpec:
+    def test_round_trip_helper(self):
+        scheme = AdditiveNoiseScheme(std=2.0, family="uniform")
+        spec = component_to_spec(scheme)
+        assert spec == {"kind": "additive", "std": 2.0, "family": "uniform"}
+
+    def test_unsupported_object(self):
+        with pytest.raises(ValidationError, match="to_spec"):
+            component_to_spec(object())
+
+
+class TestLazyLoading:
+    def test_failed_module_import_is_not_swallowed(self):
+        registry = Registry("thing", ("definitely_not_a_module",))
+        with pytest.raises(ModuleNotFoundError):
+            registry.names()
+        # Regression: the failure must surface again, not leave a
+        # silently partial (empty) catalog.
+        with pytest.raises(ModuleNotFoundError):
+            registry.names()

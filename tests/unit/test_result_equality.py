@@ -1,0 +1,148 @@
+"""Regression tests: equality on ndarray-holding result dataclasses.
+
+The generated dataclass ``__eq__`` compared ndarray fields with ``==``
+and raised ``ValueError: The truth value of an array ... is ambiguous``;
+these pin the fixed, well-defined semantics (element-wise, nan-aware).
+Also covers the nan-safe PipelineReport JSON round trip.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import (
+    AttackOutcome,
+    PipelineReport,
+    evaluate_attacks,
+)
+from repro.randomization.additive import AdditiveNoiseScheme
+from repro.randomization.base import DisguisedDataset, NoiseModel
+from repro.reconstruction.base import ReconstructionResult
+from repro.reconstruction.bedr import BayesEstimateReconstructor
+from repro.reconstruction.ndr import NoiseDistributionReconstructor
+from repro.reconstruction.wiener import WienerSmootherReconstructor
+
+
+@pytest.fixture()
+def disguised():
+    rng = np.random.default_rng(3)
+    table = rng.normal(size=(60, 4)) @ np.diag([6.0, 3.0, 1.0, 1.0])
+    return AdditiveNoiseScheme(std=2.0).disguise(table, rng=4)
+
+
+def make_result(seed=0):
+    rng = np.random.default_rng(seed)
+    return ReconstructionResult(
+        estimate=rng.normal(size=(5, 3)),
+        method="PCA-DR",
+        details={"n_components": 2, "spectrum": np.array([3.0, 1.0])},
+    )
+
+
+class TestReconstructionResultEquality:
+    def test_equal_to_identical_copy(self):
+        # Regression: this raised "truth value of an array is ambiguous".
+        assert make_result(0) == make_result(0)
+
+    def test_unequal_estimates(self):
+        assert make_result(0) != make_result(1)
+
+    def test_unequal_to_other_types(self):
+        assert make_result(0) != "PCA-DR"
+
+    def test_nan_details_compare_equal(self):
+        a = ReconstructionResult(
+            estimate=np.ones((2, 2)), method="X",
+            details={"score": float("nan")},
+        )
+        b = ReconstructionResult(
+            estimate=np.ones((2, 2)), method="X",
+            details={"score": float("nan")},
+        )
+        assert a == b
+
+
+def make_outcome(rmse=1.5, error=None):
+    return AttackOutcome(
+        name="BE-DR",
+        rmse=rmse,
+        attribute_rmse=np.array([1.0, 2.0]),
+        result=None if error else make_result(0),
+        error=error,
+    )
+
+
+class TestAttackOutcomeEquality:
+    def test_equal_to_identical_copy(self):
+        # Regression: this raised "truth value of an array is ambiguous".
+        assert make_outcome() == make_outcome()
+
+    def test_failed_outcomes_with_nan_rmse_compare_equal(self):
+        a = make_outcome(rmse=float("nan"), error="ValueError: boom")
+        b = make_outcome(rmse=float("nan"), error="ValueError: boom")
+        assert a == b
+
+    def test_different_rmse_unequal(self):
+        assert make_outcome(1.5) != make_outcome(2.5)
+
+
+class TestDatasetEquality:
+    def test_noise_model_equality(self):
+        a = NoiseModel(np.eye(2) * 4.0, np.zeros(2))
+        b = NoiseModel(np.eye(2) * 4.0, np.zeros(2))
+        assert a == b
+        assert a != NoiseModel(np.eye(2) * 9.0, np.zeros(2))
+
+    def test_disguised_dataset_equality(self, disguised):
+        clone = DisguisedDataset(
+            disguised=disguised.disguised.copy(),
+            noise_model=disguised.noise_model,
+            original=disguised.original.copy(),
+            noise=disguised.noise.copy(),
+        )
+        assert disguised == clone
+
+
+class TestPipelineReportRoundTrip:
+    def make_report(self, disguised, fail=False):
+        attacks = {
+            "NDR": NoiseDistributionReconstructor(),
+            "BE-DR": BayesEstimateReconstructor(),
+        }
+        if fail:
+            # Wiener needs more steps than its window: guaranteed error
+            # path with fail_fast=False -> a nan-rmse outcome.
+            attacks["Wiener"] = WienerSmootherReconstructor(window=121)
+        outcomes = evaluate_attacks(disguised, attacks, fail_fast=not fail)
+        return PipelineReport(
+            outcomes=outcomes, dataset=disguised, metadata={"point": 3}
+        )
+
+    def test_report_equality(self, disguised):
+        assert self.make_report(disguised) == self.make_report(disguised)
+
+    def test_round_trip_is_strict_json_and_lossless(self, disguised):
+        report = self.make_report(disguised)
+        text = json.dumps(report.to_dict(), allow_nan=False)
+        assert PipelineReport.from_dict(json.loads(text)) == report
+
+    def test_round_trip_with_nan_outcomes(self, disguised):
+        report = self.make_report(disguised, fail=True)
+        assert np.isnan(report.outcomes["Wiener"].rmse)
+        text = json.dumps(report.to_dict(), allow_nan=False)
+        clone = PipelineReport.from_dict(json.loads(text))
+        assert clone == report
+        assert np.isnan(clone.outcomes["Wiener"].rmse)
+
+    def test_compact_form_drops_matrices(self, disguised):
+        report = self.make_report(disguised)
+        compact = report.to_dict(
+            include_dataset=False, include_estimates=False
+        )
+        assert compact["dataset"] is None
+        assert compact["outcomes"]["BE-DR"]["result"]["estimate"] is None
+        clone = PipelineReport.from_dict(compact)
+        assert clone.dataset is None
+        assert clone.outcomes["BE-DR"].result is None
+        assert clone.outcomes["BE-DR"].rmse == report.outcomes["BE-DR"].rmse
