@@ -1,0 +1,359 @@
+"""Benchmark runner: timing harness, JSON payload, baseline comparison.
+
+The runner is what ``repro bench`` drives.  Protocol per case: call the
+registered setup factory (untimed), run the workload once as warmup,
+then ``repeat`` timed runs with :func:`time.perf_counter`.  The *minimum*
+is the headline number — it is the least noise-contaminated statistic
+for a deterministic workload — and every raw timing is kept in the
+payload so later analysis can second-guess that choice.
+
+Payload schema (``schema`` field = ``"repro-bench/v1"``)::
+
+    {
+      "schema": "repro-bench/v1",
+      "created_unix": 1753800000.0,
+      "python": "3.11.7", "numpy": "1.26.4", "platform": "Linux-...",
+      "filter": "smoke", "repeat": 3,
+      "benchmarks": {
+        "hotpath.em_recon.large": {
+          "group": "hotpath", "tags": ["large"],
+          "params": {"n_records": 100000, "n_bins": 64},
+          "seconds": [1.91, 1.90, 1.93],
+          "seconds_min": 1.90, "seconds_mean": 1.913
+        }, ...
+      }
+    }
+
+Baseline comparisons read the same schema, so any previous ``BENCH_*.
+json`` — including the committed ``benchmarks/baselines/BENCH_BASELINE.
+json`` — can serve as the reference.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.bench.registry import BenchmarkCase, iter_benchmarks
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "SCHEMA",
+    "time_case",
+    "run_benchmarks",
+    "write_payload",
+    "load_payload",
+    "compare_to_baseline",
+    "render_report",
+    "render_comparison",
+    "default_baseline_path",
+]
+
+SCHEMA = "repro-bench/v1"
+
+#: Regression threshold for :func:`compare_to_baseline`: a benchmark is
+#: flagged when it runs this many times slower than the baseline.
+DEFAULT_REGRESSION_RATIO = 1.5
+
+
+def time_case(case: BenchmarkCase, *, repeat: int = 3) -> dict:
+    """Time one benchmark case and return its payload entry.
+
+    Parameters
+    ----------
+    case:
+        The registered case to run.
+    repeat:
+        Timed repetitions after one untimed warmup run; the case's own
+        ``repeat`` attribute, when set, wins.
+
+    Returns
+    -------
+    dict
+        Payload entry with ``seconds`` (raw timings), ``seconds_min``,
+        and ``seconds_mean``.
+    """
+    runs = case.repeat if case.repeat is not None else repeat
+    if runs < 1:
+        raise ValidationError(f"repeat must be >= 1, got {runs}")
+    workload = case.setup()
+    workload()  # warmup: first-call costs (imports, allocator) are not the routine
+    timings = []
+    for _ in range(runs):
+        started = time.perf_counter()
+        workload()
+        timings.append(time.perf_counter() - started)
+    return {
+        "group": case.group,
+        "tags": list(case.tags),
+        "params": case.params,
+        "seconds": timings,
+        "seconds_min": min(timings),
+        "seconds_mean": sum(timings) / len(timings),
+    }
+
+
+def run_benchmarks(
+    *,
+    filter_token: str | None = None,
+    repeat: int = 3,
+    progress=None,
+) -> dict:
+    """Run every matching benchmark and return the full payload.
+
+    Parameters
+    ----------
+    filter_token:
+        Substring-of-name or exact-tag filter (``None`` runs all).
+    repeat:
+        Default timed repetitions per case.
+    progress:
+        Optional callable invoked as ``progress(case, entry)`` after
+        each case finishes — the CLI uses it for incremental output.
+    """
+    cases = iter_benchmarks(filter_token)
+    if not cases:
+        raise ValidationError(
+            f"no benchmarks match filter {filter_token!r}; "
+            "run 'repro bench --list' to see the registered cases"
+        )
+    benchmarks: dict[str, dict] = {}
+    for case in cases:
+        entry = time_case(case, repeat=repeat)
+        benchmarks[case.name] = entry
+        if progress is not None:
+            progress(case, entry)
+    return {
+        "schema": SCHEMA,
+        "created_unix": time.time(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "filter": filter_token,
+        "repeat": repeat,
+        "benchmarks": benchmarks,
+    }
+
+
+def _find_bench_utils() -> pathlib.Path | None:
+    """Locate ``benchmarks/_bench_utils.py`` relative to the CWD.
+
+    Walks from the current directory upward so ``repro bench`` run from
+    a repo subdirectory still lands its copy in ``benchmarks/results/``.
+    Returns ``None`` outside a checkout (installed-package usage).
+    """
+    here = pathlib.Path.cwd().resolve()
+    for candidate in (here, *here.parents):
+        utils = candidate / "benchmarks" / "_bench_utils.py"
+        if utils.is_file():
+            return utils
+    return None
+
+
+def write_payload(payload: dict, json_path) -> list[pathlib.Path]:
+    """Write the payload to ``json_path`` (and mirror into the repo).
+
+    Always writes ``json_path`` itself.  When run inside the repository,
+    the payload is additionally registered through the benchmark suite's
+    existing ``_bench_utils.emit_json`` helper, which persists a copy
+    under ``benchmarks/results/<stem>.json`` and queues it for the
+    pytest-session summary — keeping CLI runs and ``pytest benchmarks/``
+    runs in one results directory.
+
+    Returns the list of paths written.
+    """
+    path = pathlib.Path(json_path)
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    path.write_text(text + "\n")
+    written = [path]
+
+    utils_path = _find_bench_utils()
+    if utils_path is not None:
+        spec = importlib.util.spec_from_file_location(
+            "_bench_utils", utils_path
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        results_copy = utils_path.parent / "results" / f"{path.stem}.json"
+        if results_copy.resolve() != path.resolve():
+            module.emit_json(path.stem, payload)
+            written.append(results_copy)
+    return written
+
+
+def load_payload(json_path) -> dict:
+    """Load and minimally validate a ``BENCH_*.json`` payload."""
+    path = pathlib.Path(json_path)
+    payload = json.loads(path.read_text())
+    if not isinstance(payload, dict) or "benchmarks" not in payload:
+        raise ValidationError(
+            f"{path} is not a repro-bench payload (no 'benchmarks' key)"
+        )
+    return payload
+
+
+def default_baseline_path() -> pathlib.Path | None:
+    """The committed baseline, when running inside the repository."""
+    utils = _find_bench_utils()
+    if utils is None:
+        return None
+    candidate = utils.parent / "baselines" / "BENCH_BASELINE.json"
+    return candidate if candidate.is_file() else None
+
+
+def compare_to_baseline(
+    payload: dict,
+    baseline: dict,
+    *,
+    regression_ratio: float = DEFAULT_REGRESSION_RATIO,
+) -> dict:
+    """Compare a run against a baseline payload, benchmark by benchmark.
+
+    Parameters
+    ----------
+    payload, baseline:
+        Two ``repro-bench/v1`` payloads; only benchmarks present in both
+        are compared (on ``seconds_min``).
+    regression_ratio:
+        ``current / baseline`` above this flags a regression.
+
+    Returns
+    -------
+    dict
+        ``{"rows": [...], "regressions": [names], "missing": [names]}``
+        where each row has ``name``, ``baseline_s``, ``current_s``,
+        ``ratio`` (<1 = faster than baseline), and ``speedup``
+        (baseline/current, >1 = faster).
+    """
+    rows = []
+    regressions = []
+    base_benchmarks = baseline.get("benchmarks", {})
+    for name, entry in payload["benchmarks"].items():
+        base = base_benchmarks.get(name)
+        if base is None:
+            continue
+        baseline_s = float(base["seconds_min"])
+        current_s = float(entry["seconds_min"])
+        ratio = current_s / baseline_s if baseline_s > 0.0 else float("inf")
+        rows.append(
+            {
+                "name": name,
+                "baseline_s": baseline_s,
+                "current_s": current_s,
+                "ratio": ratio,
+                "speedup": 1.0 / ratio if ratio > 0.0 else float("inf"),
+            }
+        )
+        if ratio > regression_ratio:
+            regressions.append(name)
+    missing = sorted(set(payload["benchmarks"]) - set(base_benchmarks))
+    return {"rows": rows, "regressions": regressions, "missing": missing}
+
+
+def render_report(payload: dict) -> str:
+    """Human-readable table of one run's timings."""
+    lines = [f"{'benchmark':<42} {'min (s)':>10} {'mean (s)':>10}"]
+    lines.append("-" * 64)
+    for name, entry in payload["benchmarks"].items():
+        lines.append(
+            f"{name:<42} {entry['seconds_min']:>10.4f} "
+            f"{entry['seconds_mean']:>10.4f}"
+        )
+    return "\n".join(lines)
+
+
+def render_comparison(comparison: dict) -> str:
+    """Human-readable table of a baseline comparison."""
+    rows = comparison["rows"]
+    if not rows:
+        return "no overlapping benchmarks between run and baseline"
+    lines = [
+        f"{'benchmark':<42} {'base (s)':>10} {'now (s)':>10} {'speedup':>9}"
+    ]
+    lines.append("-" * 74)
+    for row in rows:
+        marker = ""
+        if row["name"] in comparison["regressions"]:
+            marker = "  << REGRESSION"
+        lines.append(
+            f"{row['name']:<42} {row['baseline_s']:>10.4f} "
+            f"{row['current_s']:>10.4f} {row['speedup']:>8.2f}x{marker}"
+        )
+    if comparison["missing"]:
+        lines.append(
+            f"(not in baseline: {', '.join(comparison['missing'])})"
+        )
+    return "\n".join(lines)
+
+
+def main_bench(args) -> int:
+    """Entry point for the ``repro bench`` subcommand."""
+    import repro.bench.hotpaths  # noqa: F401  (registration side effects)
+    import repro.bench.pipelines  # noqa: F401
+
+    if args.list:
+        cases = iter_benchmarks(args.filter)
+        if not cases:
+            # Same contract as run mode: a filter matching nothing is an
+            # error, so typos surface in --list previews too.
+            print(
+                f"error: no benchmarks match filter {args.filter!r}",
+                file=sys.stderr,
+            )
+            return 2
+        for case in cases:
+            tags = ",".join(case.tags)
+            print(f"{case.name:<42} [{tags}] {case.params}")
+        return 0
+
+    def progress(case, entry):
+        print(
+            f"{case.name:<42} {entry['seconds_min']:.4f}s "
+            f"(mean {entry['seconds_mean']:.4f}s over "
+            f"{len(entry['seconds'])} runs)",
+            file=sys.stderr,
+        )
+
+    try:
+        payload = run_benchmarks(
+            filter_token=args.filter, repeat=args.repeat, progress=progress
+        )
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(render_report(payload))
+
+    if args.json is not None:
+        for path in write_payload(payload, args.json):
+            print(f"wrote {path}", file=sys.stderr)
+
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline:
+        baseline_path = default_baseline_path()
+    if baseline_path is not None and not args.no_baseline:
+        try:
+            baseline = load_payload(baseline_path)
+        except (OSError, json.JSONDecodeError, ValidationError) as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        comparison = compare_to_baseline(
+            payload, baseline, regression_ratio=args.max_regression
+        )
+        print()
+        print(f"vs baseline {baseline_path}:")
+        print(render_comparison(comparison))
+        if comparison["regressions"] and args.fail_on_regression:
+            print(
+                f"error: {len(comparison['regressions'])} benchmark(s) "
+                f"regressed beyond {args.max_regression:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+    return 0

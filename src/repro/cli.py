@@ -182,6 +182,78 @@ def build_parser() -> argparse.ArgumentParser:
         "theorem52", help="verify Theorem 5.2 numerically"
     )
     _add_engine_arguments(sub)
+
+    sub = subparsers.add_parser(
+        "bench",
+        help="time the hot paths and figure pipelines",
+        description=(
+            "Run the registered benchmarks (hot-path micro-benchmarks "
+            "and full figure pipelines through the engine), print a "
+            "timing table, optionally emit a machine-readable "
+            "BENCH_*.json, and compare against a baseline payload."
+        ),
+    )
+    sub.add_argument(
+        "--json",
+        nargs="?",
+        const="BENCH_RESULTS.json",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the machine-readable payload to PATH "
+            "(default BENCH_RESULTS.json when the flag is given bare)"
+        ),
+    )
+    sub.add_argument(
+        "--filter",
+        default=None,
+        metavar="TOKEN",
+        help=(
+            "only run benchmarks whose name contains TOKEN or whose "
+            "tags include it (e.g. 'smoke', 'large', 'em_recon')"
+        ),
+    )
+    sub.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="timed repetitions per benchmark after one warmup (default 3)",
+    )
+    sub.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help=(
+            "baseline BENCH_*.json to compare against (default: the "
+            "committed benchmarks/baselines/BENCH_BASELINE.json when "
+            "run inside the repository)"
+        ),
+    )
+    sub.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the baseline comparison entirely",
+    )
+    sub.add_argument(
+        "--max-regression",
+        type=float,
+        default=1.5,
+        metavar="RATIO",
+        help=(
+            "flag benchmarks running RATIO times slower than the "
+            "baseline (default 1.5)"
+        ),
+    )
+    sub.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit non-zero when any benchmark exceeds --max-regression",
+    )
+    sub.add_argument(
+        "--list",
+        action="store_true",
+        help="list the registered benchmarks (with --filter) and exit",
+    )
     return parser
 
 
@@ -239,6 +311,12 @@ def main(argv=None) -> int:
         return _run_spec_file(args)
     if args.experiment == "list":
         return _list_components(args)
+    if args.experiment == "bench":
+        # Imported lazily: the benchmark definitions import data
+        # generators and attacks the other subcommands never need.
+        from repro.bench.runner import main_bench
+
+        return main_bench(args)
 
     engine = _engine_from_args(args)
     if args.experiment in _FIGURES:

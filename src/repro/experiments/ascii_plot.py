@@ -52,14 +52,24 @@ def plot_series(
             f"cannot plot more than {len(_GLYPHS)} curves"
         )
 
+    if not series.methods:
+        raise ValidationError("series has no curves to plot")
     x = series.x_values
+    if x.size == 0:
+        raise ValidationError("series has no sweep points to plot")
     x_lo, x_hi = float(x.min()), float(x.max())
     if x_hi == x_lo:
         x_hi = x_lo + 1.0
     all_values = np.concatenate(
         [series.series[m] for m in series.methods]
     )
-    y_lo, y_hi = float(all_values.min()), float(all_values.max())
+    finite = all_values[np.isfinite(all_values)]
+    if finite.size == 0:
+        raise ValidationError(
+            "series has no finite values to plot (all points are "
+            "NaN/inf — every attack failed)"
+        )
+    y_lo, y_hi = float(finite.min()), float(finite.max())
     if y_hi == y_lo:
         y_hi = y_lo + 1.0
     pad = 0.05 * (y_hi - y_lo)
@@ -80,11 +90,15 @@ def plot_series(
         # Dense interpolation so curves read as lines, not dots.
         dense_x = np.linspace(x_lo, x_hi, width * 2)
         dense_y = np.interp(dense_x, x, curve)
+        # Non-finite points (a failed attack's NaN curve segment) are
+        # simply not drawn; the finite remainder still plots.
         for xv, yv in zip(dense_x, dense_y):
-            canvas[to_row(float(yv))][to_col(float(xv))] = glyph
+            if np.isfinite(yv):
+                canvas[to_row(float(yv))][to_col(float(xv))] = glyph
         # Re-mark the actual data points last so they stay visible.
         for xv, yv in zip(x, curve):
-            canvas[to_row(float(yv))][to_col(float(xv))] = glyph
+            if np.isfinite(yv):
+                canvas[to_row(float(yv))][to_col(float(xv))] = glyph
 
     lines = [f"  {series.name}: {series.x_label}"]
     for row_index, row in enumerate(canvas):

@@ -7,6 +7,8 @@ output doubles as the reproduction record copied into EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.exceptions import ValidationError
@@ -68,7 +70,13 @@ def render_series(series: ExperimentSeries, *, title: str | None = None) -> str:
 
 
 def _format_number(value: float) -> str:
-    if float(value) == int(value) and abs(value) < 1e6:
+    value = float(value)
+    # NaN marks a failed attack's curve point (the pipeline records the
+    # error and carries on); render it literally instead of crashing on
+    # int(nan).
+    if not math.isfinite(value):
+        return str(value)
+    if value == int(value) and abs(value) < 1e6:
         return str(int(value))
     return f"{value:.4f}"
 

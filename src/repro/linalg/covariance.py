@@ -87,14 +87,19 @@ def ledoit_wolf_covariance(data) -> tuple[np.ndarray, float]:
     d2 = float(np.sum((sample - mu * np.eye(m)) ** 2)) / m
     if d2 <= 0.0:
         return mu * np.eye(m), 1.0
-    # b^2: estimation variance of the sample covariance.
-    b2_sum = 0.0
-    # Work in blocks to avoid an (n, m, m) intermediate for large n.
-    block = max(1, int(2_000_000 // (m * m)))
-    for start in range(0, n, block):
-        rows = centered[start : start + block]
-        outer = np.einsum("ki,kj->kij", rows, rows)
-        b2_sum += float(np.sum((outer - sample) ** 2))
+    # b^2: estimation variance of the sample covariance.  Expanding
+    # sum_k ||x_k x_k^T - S||_F^2 with S = (1/n) sum_k x_k x_k^T gives
+    # the closed form sum_k (x_k . x_k)^2 - n ||S||_F^2 — O(n m) instead
+    # of materializing per-record (m, m) outer products.  The expansion
+    # subtracts two same-magnitude sums, so it matches the historical
+    # blocked accumulation to ~1e-9 relative rather than bit-for-bit
+    # (regression-pinned in tests/unit/test_hotpath_regression.py);
+    # clip at zero in case rounding drives the difference negative.
+    row_sq_norms = np.einsum("ij,ij->i", centered, centered)
+    b2_sum = max(
+        float(np.sum(row_sq_norms**2)) - n * float(np.sum(sample**2)),
+        0.0,
+    )
     b2 = min(b2_sum / (n * n * m), d2)
     shrinkage = b2 / d2
     shrunk = shrinkage * mu * np.eye(m) + (1.0 - shrinkage) * sample

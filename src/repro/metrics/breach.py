@@ -112,14 +112,20 @@ def worst_case_posterior(prior, channel, property_inputs) -> float:
         raise ValidationError("'property_inputs' must be non-empty")
     if indices.min() < 0 or indices.max() >= matrix.shape[1]:
         raise ValidationError("'property_inputs' out of range")
-    worst = 0.0
-    for output in range(matrix.shape[0]):
-        joint = matrix[output] * pi
-        total = joint.sum()
-        if total <= 0.0:
-            continue
-        worst = max(worst, float(joint[indices].sum() / total))
-    return worst
+    # One batched Bayes update over every output at once: the totals
+    # sum_x p(y|x) pi(x) and the property masses are matrix-vector
+    # products, so the whole scan is two BLAS calls instead of a
+    # Python loop over outputs.  (BLAS summation order makes this
+    # match the historical per-output loop to ~1e-12 relative rather
+    # than bit-for-bit.)  Outputs with zero total probability cannot
+    # be observed and are excluded, as in the per-output formulation.
+    totals = matrix @ pi
+    valid = totals > 0.0
+    if not np.any(valid):
+        return 0.0
+    property_mass = matrix[:, indices] @ pi[indices]
+    posteriors = property_mass[valid] / totals[valid]
+    return max(0.0, float(posteriors.max()))
 
 
 def breach_occurs(
@@ -152,13 +158,12 @@ def amplification_factor(channel) -> float:
     means some output reveals its input with certainty.
     """
     matrix = _check_channel(channel)
-    gamma = 1.0
-    for row in matrix:
-        positive = row[row > 0.0]
-        if positive.size < matrix.shape[1]:
-            return float("inf")
-        gamma = max(gamma, float(positive.max() / positive.min()))
-    return gamma
+    row_min = matrix.min(axis=1)
+    # A zero anywhere means some (x1, x2, y) ratio is unbounded.
+    if float(row_min.min()) <= 0.0:
+        return float("inf")
+    ratios = matrix.max(axis=1) / row_min
+    return max(1.0, float(ratios.max()))
 
 
 def amplification_prevents_breach(

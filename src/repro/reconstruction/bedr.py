@@ -80,6 +80,7 @@ class BayesEstimateReconstructor(Reconstructor):
         self._covariance_estimator = covariance_estimator
 
     def to_spec(self) -> dict:
+        """JSON-safe registry spec (``{"kind": ..., ...}``) of this attack."""
         spec: dict = {
             "kind": "be-dr",
             "covariance_estimator": self._covariance_estimator,
@@ -92,6 +93,7 @@ class BayesEstimateReconstructor(Reconstructor):
 
     @classmethod
     def from_spec(cls, spec: dict) -> "BayesEstimateReconstructor":
+        """Rebuild the attack from a :meth:`to_spec` dict."""
         check_spec(
             spec,
             "be-dr",

@@ -61,10 +61,12 @@ class KalmanSmootherReconstructor(Reconstructor):
         )
 
     def to_spec(self) -> dict:
+        """JSON-safe registry spec (``{"kind": ..., ...}``) of this attack."""
         return {"kind": "kalman", "max_spectral_radius": self._max_radius}
 
     @classmethod
     def from_spec(cls, spec: dict) -> "KalmanSmootherReconstructor":
+        """Rebuild the attack from a :meth:`to_spec` dict."""
         check_spec(spec, "kalman", optional=("max_spectral_radius",))
         return cls(
             max_spectral_radius=float(spec.get("max_spectral_radius", 0.995))

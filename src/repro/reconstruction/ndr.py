@@ -29,10 +29,12 @@ class NoiseDistributionReconstructor(Reconstructor):
     name = "NDR"
 
     def to_spec(self) -> dict:
+        """JSON-safe registry spec (``{"kind": ..., ...}``) of this attack."""
         return {"kind": "ndr"}
 
     @classmethod
     def from_spec(cls, spec: dict) -> "NoiseDistributionReconstructor":
+        """Rebuild the attack from a :meth:`to_spec` dict."""
         check_spec(spec, "ndr")
         return cls()
 

@@ -80,6 +80,7 @@ class ConditionalDisclosureReconstructor(Reconstructor):
         self._oracle_covariance = oracle_covariance
 
     def to_spec(self) -> dict:
+        """JSON-safe registry spec (``{"kind": ..., ...}``) of this attack."""
         spec: dict = {
             "kind": "conditional",
             "known_indices": self._known_indices.tolist(),
@@ -93,6 +94,7 @@ class ConditionalDisclosureReconstructor(Reconstructor):
 
     @classmethod
     def from_spec(cls, spec: dict) -> "ConditionalDisclosureReconstructor":
+        """Rebuild the attack from a :meth:`to_spec` dict."""
         check_spec(
             spec,
             "conditional",

@@ -95,6 +95,7 @@ class PCAReconstructor(Reconstructor):
         return self._selector
 
     def to_spec(self) -> dict:
+        """JSON-safe registry spec (``{"kind": ..., ...}``) of this attack."""
         spec: dict = {
             "kind": "pca-dr",
             "selector": self._selector.to_spec(),
@@ -106,6 +107,7 @@ class PCAReconstructor(Reconstructor):
 
     @classmethod
     def from_spec(cls, spec: dict) -> "PCAReconstructor":
+        """Rebuild the attack from a :meth:`to_spec` dict."""
         check_spec(
             spec,
             "pca-dr",

@@ -75,12 +75,14 @@ class FixedCountSelector(ComponentSelector):
         return self._count
 
     def select(self, eigenvalues: np.ndarray) -> int:
+        """``min(count, m)`` for a length-``m`` descending spectrum."""
         m = int(np.asarray(eigenvalues).size)
         if m < 1:
             raise ValidationError("'eigenvalues' must be non-empty")
         return min(self._count, m)
 
     def to_spec(self) -> dict:
+        """JSON-safe spec ``{"kind": "fixed", "count": ...}``."""
         return {"kind": "fixed", "count": self._count}
 
     def __repr__(self) -> str:
@@ -111,9 +113,11 @@ class EnergyFractionSelector(ComponentSelector):
         return self._fraction
 
     def select(self, eigenvalues: np.ndarray) -> int:
+        """Smallest ``p`` whose eigenvalues hold ``fraction`` of the energy."""
         return spectrum_energy_fraction(eigenvalues, self._fraction)
 
     def to_spec(self) -> dict:
+        """JSON-safe spec ``{"kind": "energy", "fraction": ...}``."""
         return {"kind": "energy", "fraction": self._fraction}
 
     def __repr__(self) -> str:
@@ -142,9 +146,11 @@ class LargestGapSelector(ComponentSelector):
         return self._max_rank
 
     def select(self, eigenvalues: np.ndarray) -> int:
+        """``p`` maximizing the descending-spectrum gap (Section 5.2.2)."""
         return eigen_gap_split(eigenvalues, max_rank=self._max_rank)
 
     def to_spec(self) -> dict:
+        """JSON-safe spec ``{"kind": "largest-gap"[, "max_rank": ...]}``."""
         spec: dict = {"kind": "largest-gap"}
         if self._max_rank is not None:
             spec["max_rank"] = self._max_rank

@@ -94,10 +94,12 @@ class SpectralFilteringReconstructor(Reconstructor):
         return self._tolerance
 
     def to_spec(self) -> dict:
+        """JSON-safe registry spec (``{"kind": ..., ...}``) of this attack."""
         return {"kind": "sf", "tolerance": self._tolerance}
 
     @classmethod
     def from_spec(cls, spec: dict) -> "SpectralFilteringReconstructor":
+        """Rebuild the attack from a :meth:`to_spec` dict."""
         check_spec(spec, "sf", optional=("tolerance",))
         return cls(tolerance=float(spec.get("tolerance", 0.05)))
 

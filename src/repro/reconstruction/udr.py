@@ -118,6 +118,7 @@ class UnivariateReconstructor(Reconstructor):
         return self._prior_mode
 
     def to_spec(self) -> dict:
+        """JSON-safe registry spec (``{"kind": ..., ...}``) of this attack."""
         if self._prior_mode == "explicit":
             # Density objects are arbitrary code, not data.
             raise ValidationError(
@@ -133,6 +134,7 @@ class UnivariateReconstructor(Reconstructor):
 
     @classmethod
     def from_spec(cls, spec: dict) -> "UnivariateReconstructor":
+        """Rebuild the attack from a :meth:`to_spec` dict."""
         check_spec(
             spec, "udr", optional=("prior", "n_grid", "n_bins")
         )

@@ -68,6 +68,7 @@ class WienerSmootherReconstructor(Reconstructor):
         return self._window
 
     def to_spec(self) -> dict:
+        """JSON-safe registry spec (``{"kind": ..., ...}``) of this attack."""
         return {
             "kind": "wiener",
             "window": self._window,
@@ -76,6 +77,7 @@ class WienerSmootherReconstructor(Reconstructor):
 
     @classmethod
     def from_spec(cls, spec: dict) -> "WienerSmootherReconstructor":
+        """Rebuild the attack from a :meth:`to_spec` dict."""
         check_spec(spec, "wiener", optional=("window", "max_lag"))
         max_lag = spec.get("max_lag")
         return cls(

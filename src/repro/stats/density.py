@@ -67,6 +67,13 @@ class GaussianDensity(Density):
 
     This is the paper's default noise model (Section 6.1: "random noise
     used for each attribute has normal distribution").
+
+    Parameters
+    ----------
+    mean:
+        Location ``mu``.
+    std:
+        Standard deviation ``sigma > 0``.
     """
 
     def __init__(self, mean: float = 0.0, std: float = 1.0):
@@ -74,22 +81,27 @@ class GaussianDensity(Density):
         self._std = check_in_range(std, "std", low=0.0, inclusive_low=False)
 
     def pdf(self, x) -> np.ndarray:
+        """``N(x; mu, sigma^2)`` evaluated elementwise; shape follows ``x``."""
         z = (self._as_array(x) - self._mean) / self._std
         return np.exp(-0.5 * z * z) / (self._std * math.sqrt(2.0 * math.pi))
 
     @property
     def mean(self) -> float:
+        """Location parameter ``mu``."""
         return self._mean
 
     @property
     def variance(self) -> float:
+        """``sigma^2``."""
         return self._std**2
 
     def support(self, coverage: float = 0.9999) -> tuple[float, float]:
+        """Central interval ``mu +- z(coverage) * sigma``."""
         halfwidth = self._std * _gaussian_halfwidth(coverage)
         return (self._mean - halfwidth, self._mean + halfwidth)
 
     def sample(self, size: int, rng=None) -> np.ndarray:
+        """Draw ``size`` i.i.d. ``N(mu, sigma^2)`` variates, shape ``(size,)``."""
         return as_generator(rng).normal(self._mean, self._std, size=size)
 
     def __repr__(self) -> str:
@@ -101,6 +113,11 @@ class UniformDensity(Density):
 
     Matches the paper's introductory example of disguising with
     "independent uniformly-random number with mean zero" (Section 1).
+
+    Parameters
+    ----------
+    low, high:
+        Interval endpoints with ``high > low``.
     """
 
     def __init__(self, low: float, high: float):
@@ -114,24 +131,29 @@ class UniformDensity(Density):
         self._high = high
 
     def pdf(self, x) -> np.ndarray:
+        """``1 / (high - low)`` inside the interval, 0 outside."""
         array = self._as_array(x)
         inside = (array >= self._low) & (array <= self._high)
         return np.where(inside, 1.0 / (self._high - self._low), 0.0)
 
     @property
     def mean(self) -> float:
+        """Interval midpoint ``(low + high) / 2``."""
         return (self._low + self._high) / 2.0
 
     @property
     def variance(self) -> float:
+        """``(high - low)^2 / 12``."""
         return (self._high - self._low) ** 2 / 12.0
 
     def support(self, coverage: float = 0.9999) -> tuple[float, float]:
+        """The full interval ``[low, high]`` (all mass, any coverage)."""
         check_in_range(coverage, "coverage", low=0.0, high=1.0,
                        inclusive_low=False)
         return (self._low, self._high)
 
     def sample(self, size: int, rng=None) -> np.ndarray:
+        """Draw ``size`` i.i.d. uniform variates, shape ``(size,)``."""
         return as_generator(rng).uniform(self._low, self._high, size=size)
 
     def __repr__(self) -> str:
@@ -144,6 +166,13 @@ class LaplaceDensity(Density):
     Included as a heavier-tailed noise alternative; historically relevant
     because additive Laplace noise later became the differential-privacy
     mechanism of choice.
+
+    Parameters
+    ----------
+    mean:
+        Location ``mu``.
+    scale:
+        Scale ``b > 0`` (variance is ``2 b^2``).
     """
 
     def __init__(self, mean: float = 0.0, scale: float = 1.0):
@@ -153,24 +182,29 @@ class LaplaceDensity(Density):
         )
 
     def pdf(self, x) -> np.ndarray:
+        """``exp(-|x - mu| / b) / (2 b)`` evaluated elementwise."""
         z = np.abs(self._as_array(x) - self._mean) / self._scale
         return np.exp(-z) / (2.0 * self._scale)
 
     @property
     def mean(self) -> float:
+        """Location parameter ``mu``."""
         return self._mean
 
     @property
     def variance(self) -> float:
+        """``2 b^2``."""
         return 2.0 * self._scale**2
 
     def support(self, coverage: float = 0.9999) -> tuple[float, float]:
+        """Central interval ``mu -+ b * log(1 - coverage)``."""
         check_in_range(coverage, "coverage", low=0.0, high=1.0,
                        inclusive_low=False)
         halfwidth = -self._scale * math.log(1.0 - coverage)
         return (self._mean - halfwidth, self._mean + halfwidth)
 
     def sample(self, size: int, rng=None) -> np.ndarray:
+        """Draw ``size`` i.i.d. Laplace variates, shape ``(size,)``."""
         return as_generator(rng).laplace(self._mean, self._scale, size=size)
 
     def __repr__(self) -> str:
@@ -178,11 +212,21 @@ class LaplaceDensity(Density):
 
 
 class GaussianMixtureDensity(Density):
-    """Finite mixture of Gaussians.
+    """Finite mixture of Gaussians ``sum_k w_k N(mu_k, sigma_k^2)``.
 
     Serves as the non-Gaussian prior for the gradient-descent MAP
     extension (Section 6's closing remark about numerical methods for
     other distributions).
+
+    Parameters
+    ----------
+    weights:
+        Non-negative component weights, shape ``(k,)``; normalized
+        internally to sum to one.
+    means:
+        Component means ``mu_k``, shape ``(k,)``.
+    stds:
+        Component standard deviations ``sigma_k > 0``, shape ``(k,)``.
     """
 
     def __init__(self, weights, means, stds):
@@ -225,6 +269,7 @@ class GaussianMixtureDensity(Density):
         return self._stds.copy()
 
     def pdf(self, x) -> np.ndarray:
+        """Weighted sum of component normals; shape follows ``x``."""
         array = self._as_array(x)
         flat = np.atleast_1d(array).ravel()
         z = (flat[:, None] - self._means[None, :]) / self._stds[None, :]
@@ -235,22 +280,26 @@ class GaussianMixtureDensity(Density):
 
     @property
     def mean(self) -> float:
+        """Mixture mean ``sum_k w_k mu_k``."""
         return float(self._weights @ self._means)
 
     @property
     def variance(self) -> float:
+        """``sum_k w_k (sigma_k^2 + mu_k^2) - mean^2``."""
         second_moment = float(
             self._weights @ (self._stds**2 + self._means**2)
         )
         return second_moment - self.mean**2
 
     def support(self, coverage: float = 0.9999) -> tuple[float, float]:
+        """Union of the per-component central coverage intervals."""
         halfwidth = _gaussian_halfwidth(coverage)
         lows = self._means - halfwidth * self._stds
         highs = self._means + halfwidth * self._stds
         return (float(lows.min()), float(highs.max()))
 
     def sample(self, size: int, rng=None) -> np.ndarray:
+        """Ancestral sampling: pick components by weight, then draw normals."""
         generator = as_generator(rng)
         component = generator.choice(
             self.n_components, size=size, p=self._weights
@@ -269,6 +318,14 @@ class HistogramDensity(Density):
     This is the representation produced by the Agrawal-Srikant iterative
     distribution reconstruction (:mod:`repro.randomization.
     distribution_recon`): probabilities over a discretized support.
+
+    Parameters
+    ----------
+    edges:
+        Strictly increasing bin edges, shape ``(n_bins + 1,)``.
+    probabilities:
+        Non-negative per-bin probabilities, shape ``(n_bins,)``;
+        normalized internally to sum to one.
     """
 
     def __init__(self, edges, probabilities):
@@ -317,6 +374,7 @@ class HistogramDensity(Density):
         return self._probs.copy()
 
     def pdf(self, x) -> np.ndarray:
+        """Bin density ``p_k / width_k`` at each point; 0 outside the bins."""
         array = self._as_array(x)
         index = np.searchsorted(self._edges, array, side="right") - 1
         # Points exactly on the last edge belong to the last bin.
@@ -329,21 +387,24 @@ class HistogramDensity(Density):
 
     @property
     def mean(self) -> float:
+        """Probability-weighted bin-midpoint mean."""
         return float(self._probs @ self._centers)
 
     @property
     def variance(self) -> float:
-        # Mixture-of-uniforms variance: between-bin plus within-bin terms.
+        """Mixture-of-uniforms variance: between-bin plus within-bin terms."""
         between = float(self._probs @ (self._centers - self.mean) ** 2)
         within = float(self._probs @ (self._widths**2 / 12.0))
         return between + within
 
     def support(self, coverage: float = 0.9999) -> tuple[float, float]:
+        """The full binned interval ``[edges[0], edges[-1]]``."""
         check_in_range(coverage, "coverage", low=0.0, high=1.0,
                        inclusive_low=False)
         return (float(self._edges[0]), float(self._edges[-1]))
 
     def sample(self, size: int, rng=None) -> np.ndarray:
+        """Pick bins by probability, then draw uniformly within each bin."""
         generator = as_generator(rng)
         index = generator.choice(self._probs.size, size=size, p=self._probs)
         left = self._edges[index]

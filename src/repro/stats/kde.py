@@ -44,21 +44,48 @@ def silverman_bandwidth(samples) -> float:
 class GaussianKDE(Density):
     """Gaussian kernel density estimate over a 1-D sample.
 
+    Evaluation uses a sorted-sample truncated-kernel strategy: samples
+    farther than ``cutoff`` bandwidths from an evaluation point are
+    skipped via binary search.  Each skipped term contributes less than
+    ``exp(-cutoff**2 / 2)`` relative to the kernel peak — below one
+    double-precision ulp at the default ``cutoff=8.5`` — so results
+    agree with the dense ``O(n_eval * n)`` evaluation to within
+    ``2.1e-16 / (bandwidth * sqrt(2 * pi))`` absolutely (machine
+    precision relative to the density scale) while doing only the
+    arithmetic that can affect the answer.
+
     Parameters
     ----------
     samples:
         Observed values, shape ``(n,)``.
     bandwidth:
-        Kernel standard deviation; defaults to Silverman's rule.
+        Kernel standard deviation; defaults to Silverman's rule
+        (:func:`silverman_bandwidth`).
+    cutoff:
+        Truncation radius in bandwidths for :meth:`pdf`; larger is
+        (immeasurably) more accurate, smaller is faster.  The default
+        ``8.5`` keeps truncation error below double-precision rounding.
     """
 
-    def __init__(self, samples, bandwidth: float | None = None):
+    def __init__(
+        self,
+        samples,
+        bandwidth: float | None = None,
+        *,
+        cutoff: float = 8.5,
+    ):
         self._samples = check_vector(samples, "samples", min_length=2)
         if bandwidth is None:
             bandwidth = silverman_bandwidth(self._samples)
         self._bandwidth = check_in_range(
             bandwidth, "bandwidth", low=0.0, inclusive_low=False
         )
+        self._cutoff = check_in_range(
+            cutoff, "cutoff", low=0.0, inclusive_low=False
+        )
+        # Sorted copy for windowed evaluation; ``_samples`` keeps the
+        # caller's order so :meth:`sample` draws are unchanged.
+        self._sorted = np.sort(self._samples)
 
     @property
     def bandwidth(self) -> float:
@@ -71,31 +98,59 @@ class GaussianKDE(Density):
         return int(self._samples.size)
 
     def pdf(self, x) -> np.ndarray:
+        """Density at ``x``, elementwise.
+
+        Parameters
+        ----------
+        x:
+            Evaluation points, any shape; the result matches it.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(1/n) * sum_i N(x; s_i, bandwidth)`` with kernels beyond
+            ``cutoff`` bandwidths truncated (see the class docstring
+            for the — sub-ulp — error bound).
+        """
         array = self._as_array(x)
-        flat = np.atleast_1d(array).ravel()
-        # Evaluate in blocks so an (n_eval, n_samples) matrix never gets
-        # too large for big experiments.
-        block = max(1, int(4_000_000 // max(self._samples.size, 1)))
-        out = np.empty(flat.size, dtype=np.float64)
+        flat = np.atleast_1d(array).ravel().astype(np.float64)
+        out = np.zeros(flat.size, dtype=np.float64)
         norm = self._bandwidth * math.sqrt(2.0 * math.pi)
-        for start in range(0, flat.size, block):
-            stop = min(start + block, flat.size)
-            z = (
-                flat[start:stop, None] - self._samples[None, :]
-            ) / self._bandwidth
-            out[start:stop] = np.exp(-0.5 * z * z).mean(axis=1) / norm
+        n = self._sorted.size
+        radius = self._cutoff * self._bandwidth
+
+        finite = np.isfinite(flat)
+        out[~finite] = np.where(np.isnan(flat[~finite]), np.nan, 0.0)
+
+        # Process evaluation points in sorted order so each block of
+        # consecutive points shares one contiguous sample window found
+        # by binary search; blocks are sized to keep the (block, window)
+        # kernel matrix at the historical dense-evaluation footprint.
+        order = np.flatnonzero(finite)[np.argsort(flat[finite], kind="stable")]
+        block = max(1, int(4_000_000 // max(n, 1)))
+        for start in range(0, order.size, block):
+            idx = order[start : start + block]
+            chunk = flat[idx]
+            lo = int(np.searchsorted(self._sorted, chunk[0] - radius, "left"))
+            hi = int(np.searchsorted(self._sorted, chunk[-1] + radius, "right"))
+            if hi <= lo:
+                continue
+            z = (chunk[:, None] - self._sorted[lo:hi]) / self._bandwidth
+            out[idx] = np.exp(-0.5 * z * z).sum(axis=1) / (n * norm)
         return out.reshape(array.shape)
 
     @property
     def mean(self) -> float:
+        """Sample mean (the KDE's expected value)."""
         return float(self._samples.mean())
 
     @property
     def variance(self) -> float:
-        # Convolution with the kernel adds its variance.
+        """Sample variance plus ``bandwidth**2`` (kernel convolution)."""
         return float(np.var(self._samples)) + self._bandwidth**2
 
     def support(self, coverage: float = 0.9999) -> tuple[float, float]:
+        """Sample range padded by 4 bandwidths on each side."""
         check_in_range(coverage, "coverage", low=0.0, high=1.0,
                        inclusive_low=False)
         pad = 4.0 * self._bandwidth
@@ -105,6 +160,7 @@ class GaussianKDE(Density):
         )
 
     def sample(self, size: int, rng=None) -> np.ndarray:
+        """Smoothed bootstrap: resample the data, add kernel noise."""
         generator = as_generator(rng)
         picks = generator.choice(self._samples, size=size, replace=True)
         return picks + generator.normal(0.0, self._bandwidth, size=size)

@@ -1,0 +1,252 @@
+"""Unit tests for the benchmark subsystem behind ``repro bench``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.registry import (
+    _REGISTRY,
+    BenchmarkCase,
+    iter_benchmarks,
+    register_benchmark,
+)
+from repro.bench.runner import (
+    SCHEMA,
+    compare_to_baseline,
+    load_payload,
+    render_comparison,
+    render_report,
+    run_benchmarks,
+    time_case,
+    write_payload,
+)
+from repro.cli import main
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def scratch_case():
+    """Register a trivial benchmark; unregister on teardown."""
+    calls = {"setup": 0, "run": 0}
+
+    @register_benchmark(
+        "test.scratch.smoke",
+        group="test",
+        tags=("smoke", "scratch"),
+        params={"n": 1},
+    )
+    def _setup():
+        calls["setup"] += 1
+
+        def run():
+            calls["run"] += 1
+
+        return run
+
+    yield calls
+    _REGISTRY.pop("test.scratch.smoke", None)
+
+
+class TestRegistry:
+    def test_register_and_filter(self, scratch_case):
+        names = [case.name for case in iter_benchmarks("scratch")]
+        assert names == ["test.scratch.smoke"]
+
+    def test_filter_matches_substring_and_tag(self, scratch_case):
+        assert iter_benchmarks("test.scratch")  # name substring
+        assert iter_benchmarks("scratch")  # exact tag
+        assert not any(
+            c.name == "test.scratch.smoke" for c in iter_benchmarks("nope")
+        )
+
+    def test_duplicate_name_rejected(self, scratch_case):
+        with pytest.raises(ValidationError, match="already registered"):
+            register_benchmark("test.scratch.smoke", group="test")(lambda: None)
+
+    def test_case_matches(self):
+        case = BenchmarkCase(
+            name="a.b.c", group="g", setup=lambda: (lambda: None), tags=("t",)
+        )
+        assert case.matches("b.c")
+        assert case.matches("t")
+        assert not case.matches("z")
+
+
+class TestTimeCase:
+    def test_warmup_plus_repeats(self, scratch_case):
+        case = _REGISTRY["test.scratch.smoke"]
+        entry = time_case(case, repeat=2)
+        assert scratch_case["setup"] == 1
+        assert scratch_case["run"] == 3  # 1 warmup + 2 timed
+        assert len(entry["seconds"]) == 2
+        assert entry["seconds_min"] == min(entry["seconds"])
+        assert entry["group"] == "test"
+        assert entry["params"] == {"n": 1}
+
+    def test_case_repeat_override(self):
+        ran = []
+        case = BenchmarkCase(
+            name="t.override",
+            group="test",
+            setup=lambda: (lambda: ran.append(1)),
+            repeat=1,
+        )
+        entry = time_case(case, repeat=5)
+        assert len(entry["seconds"]) == 1  # case repeat wins
+
+    def test_invalid_repeat(self, scratch_case):
+        case = _REGISTRY["test.scratch.smoke"]
+        with pytest.raises(ValidationError, match="repeat"):
+            time_case(case, repeat=0)
+
+
+class TestRunBenchmarks:
+    def test_payload_shape(self, scratch_case):
+        payload = run_benchmarks(filter_token="scratch", repeat=1)
+        assert payload["schema"] == SCHEMA
+        assert payload["filter"] == "scratch"
+        assert "test.scratch.smoke" in payload["benchmarks"]
+
+    def test_no_match_raises(self):
+        with pytest.raises(ValidationError, match="no benchmarks match"):
+            run_benchmarks(filter_token="definitely-not-a-benchmark")
+
+    def test_progress_hook(self, scratch_case):
+        seen = []
+        run_benchmarks(
+            filter_token="scratch",
+            repeat=1,
+            progress=lambda case, entry: seen.append(case.name),
+        )
+        assert seen == ["test.scratch.smoke"]
+
+
+class TestPayloadIO:
+    def test_write_and_load_roundtrip(self, scratch_case, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # outside the repo: no mirror copy
+        payload = run_benchmarks(filter_token="scratch", repeat=1)
+        target = tmp_path / "BENCH_test.json"
+        written = write_payload(payload, target)
+        assert written == [target]
+        loaded = load_payload(target)
+        assert loaded["benchmarks"].keys() == payload["benchmarks"].keys()
+
+    def test_write_mirrors_into_repo_results(
+        self, scratch_case, tmp_path, monkeypatch
+    ):
+        utils = tmp_path / "benchmarks" / "_bench_utils.py"
+        utils.parent.mkdir()
+        utils.write_text(
+            "import json, pathlib\n"
+            "RESULTS_DIR = pathlib.Path(__file__).parent / 'results'\n"
+            "def emit_json(name, payload):\n"
+            "    RESULTS_DIR.mkdir(exist_ok=True)\n"
+            "    (RESULTS_DIR / f'{name}.json').write_text("
+            "json.dumps(payload))\n"
+        )
+        monkeypatch.chdir(tmp_path)
+        payload = run_benchmarks(filter_token="scratch", repeat=1)
+        written = write_payload(payload, tmp_path / "BENCH_mirror.json")
+        assert len(written) == 2
+        assert (tmp_path / "benchmarks/results/BENCH_mirror.json").is_file()
+
+    def test_load_rejects_non_payload(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"not": "a payload"}))
+        with pytest.raises(ValidationError, match="benchmarks"):
+            load_payload(bogus)
+
+
+class TestCompare:
+    @staticmethod
+    def _payload(**times):
+        return {
+            "schema": SCHEMA,
+            "benchmarks": {
+                name: {"seconds_min": t, "seconds_mean": t, "seconds": [t]}
+                for name, t in times.items()
+            },
+        }
+
+    def test_speedup_and_regression_flags(self):
+        baseline = self._payload(a=1.0, b=1.0, c=1.0)
+        current = self._payload(a=0.5, b=2.0, d=1.0)
+        result = compare_to_baseline(current, baseline, regression_ratio=1.5)
+        rows = {row["name"]: row for row in result["rows"]}
+        assert rows["a"]["speedup"] == pytest.approx(2.0)
+        assert rows["b"]["ratio"] == pytest.approx(2.0)
+        assert result["regressions"] == ["b"]
+        assert result["missing"] == ["d"]
+
+    def test_render_helpers(self):
+        baseline = self._payload(a=1.0)
+        current = self._payload(a=0.25)
+        comparison = compare_to_baseline(current, baseline)
+        report = render_report(current)
+        assert "a" in report and "0.2500" in report
+        table = render_comparison(comparison)
+        assert "4.00x" in table
+
+    def test_render_empty_comparison(self):
+        comparison = compare_to_baseline(self._payload(a=1.0), self._payload())
+        assert "no overlapping" in render_comparison(comparison)
+
+
+class TestBenchCLI:
+    def test_list(self, capsys):
+        assert main(["bench", "--list", "--filter", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "hotpath.em_recon.smoke" in out
+        assert "pipeline.figure1.smoke" in out
+
+    def test_run_single_benchmark_with_json(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        target = tmp_path / "BENCH_cli.json"
+        code = main(
+            [
+                "bench",
+                "--filter",
+                "hotpath.breach_metrics.smoke",
+                "--repeat",
+                "1",
+                "--no-baseline",
+                "--json",
+                str(target),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert "hotpath.breach_metrics.smoke" in payload["benchmarks"]
+
+    def test_unknown_filter_exits_2(self, capsys):
+        assert main(["bench", "--filter", "no-such-bench"]) == 2
+
+    def test_fail_on_regression(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        baseline = {
+            "schema": SCHEMA,
+            "benchmarks": {
+                "hotpath.breach_metrics.smoke": {
+                    "seconds_min": 1e-9,
+                    "seconds_mean": 1e-9,
+                    "seconds": [1e-9],
+                }
+            },
+        }
+        base_path = tmp_path / "base.json"
+        base_path.write_text(json.dumps(baseline))
+        code = main(
+            [
+                "bench",
+                "--filter",
+                "hotpath.breach_metrics.smoke",
+                "--repeat",
+                "1",
+                "--baseline",
+                str(base_path),
+                "--fail-on-regression",
+            ]
+        )
+        assert code == 1

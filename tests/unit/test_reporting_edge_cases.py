@@ -1,0 +1,120 @@
+"""Edge-case coverage for the series renderers.
+
+`experiments/ascii_plot.py` and `experiments/reporting.py` sit at the
+end of every CLI run, so they must cope with whatever the pipeline
+hands them: empty sweeps, single-point sweeps, and the NaN curve
+segments a failed attack leaves behind (the pipeline records the error
+and carries on — see ``evaluate_attacks(fail_fast=False)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.config import ExperimentSeries
+from repro.exceptions import ValidationError
+from repro.experiments.ascii_plot import plot_series
+from repro.experiments.reporting import render_series, series_to_rows
+
+
+def _series(x, curves, name="edge", metadata=None):
+    return ExperimentSeries(
+        name=name,
+        x_label="x",
+        x_values=np.asarray(x, dtype=np.float64),
+        series={k: np.asarray(v, dtype=np.float64) for k, v in curves.items()},
+        metadata=metadata or {},
+    )
+
+
+class TestReportingEmptySeries:
+    def test_rows_are_header_only(self):
+        rows = series_to_rows(_series([], {"UDR": []}))
+        assert rows == [["x", "UDR"]]
+
+    def test_render_produces_header_and_separator(self):
+        text = render_series(_series([], {"UDR": []}))
+        lines = text.splitlines()
+        assert lines[0] == "Experiment: edge"
+        assert "x | UDR" in text
+        assert len(lines) == 3  # heading, header row, separator
+
+
+class TestReportingSinglePoint:
+    def test_single_point_renders_one_data_row(self):
+        text = render_series(_series([5.0], {"UDR": [1.25]}))
+        assert "1.2500" in text
+        assert text.splitlines()[-1].strip().startswith("5")
+
+    def test_integer_values_render_without_decimals(self):
+        text = render_series(_series([2.0], {"UDR": [3.0]}))
+        assert "3" in text.splitlines()[-1]
+        assert "3.0000" not in text
+
+
+class TestReportingNaN:
+    def test_nan_renders_literally(self):
+        text = render_series(
+            _series([1.0, 2.0], {"UDR": [1.0, np.nan], "SF": [np.nan, 2.0]})
+        )
+        assert text.count("nan") == 2
+
+    def test_inf_renders_literally(self):
+        text = render_series(_series([1.0], {"UDR": [np.inf]}))
+        assert "inf" in text
+
+    def test_nan_metadata_value_renders(self):
+        text = render_series(
+            _series([1.0], {"UDR": [1.0]}, metadata={"rmse": float("nan")})
+        )
+        assert "rmse=nan" in text
+
+
+class TestPlotEmptyAndDegenerate:
+    def test_empty_series_raises_cleanly(self):
+        with pytest.raises(ValidationError, match="no sweep points"):
+            plot_series(_series([], {"UDR": []}))
+
+    def test_no_curves_raises_cleanly(self):
+        with pytest.raises(ValidationError, match="no curves"):
+            plot_series(_series([1.0], {}))
+
+    def test_all_nan_raises_cleanly(self):
+        with pytest.raises(ValidationError, match="no finite values"):
+            plot_series(
+                _series([1.0, 2.0], {"UDR": [np.nan, np.nan]})
+            )
+
+
+class TestPlotSinglePoint:
+    def test_single_point_plots(self):
+        text = plot_series(_series([3.0], {"UDR": [2.0]}))
+        assert "*" in text  # the single marker is drawn
+        assert "legend: * UDR" in text
+
+    def test_flat_curve_plots(self):
+        text = plot_series(_series([1.0, 2.0, 3.0], {"UDR": [5.0, 5.0, 5.0]}))
+        assert "*" in text
+
+
+class TestPlotNaN:
+    def test_partial_nan_curve_still_plots_finite_segment(self):
+        text = plot_series(
+            _series(
+                [1.0, 2.0, 3.0, 4.0],
+                {"UDR": [1.0, np.nan, 3.0, 4.0], "SF": [2.0, 2.5, 3.0, 3.5]},
+            )
+        )
+        assert "*" in text  # UDR's finite points drawn
+        assert "o" in text  # SF drawn
+        assert "legend: * UDR   o SF" in text
+
+    def test_one_all_nan_curve_among_finite_curves(self):
+        text = plot_series(
+            _series(
+                [1.0, 2.0],
+                {"UDR": [np.nan, np.nan], "SF": [1.0, 2.0]},
+            )
+        )
+        assert "o" in text  # SF still plots; UDR contributes nothing
