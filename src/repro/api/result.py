@@ -110,10 +110,20 @@ def aggregate_payloads(
                     for label, entry in value.items():
                         accumulate(label, point, entry)
                 elif isinstance(value, list):
-                    if single_job:
-                        series[key] = np.asarray(
-                            restore_from_json(value), dtype=np.float64
+                    if not single_job:
+                        # List payloads are whole curves; summing or
+                        # averaging them across points/trials has no
+                        # defined meaning, and dropping them silently
+                        # hid real task bugs.
+                        raise ValidationError(
+                            f"payload key {key!r} is list-valued, which "
+                            "is only supported for single-job specs "
+                            "(one point, one trial); got "
+                            f"{n_points} point(s) x {trials} trial(s)"
                         )
+                    series[key] = np.asarray(
+                        restore_from_json(value), dtype=np.float64
+                    )
                 else:
                     accumulate(key, point, value)
 

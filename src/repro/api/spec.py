@@ -194,6 +194,14 @@ class ExperimentSpec:
                 "seed_mode='root' feeds the root stream to one job; it "
                 "requires a single point and trials=1"
             )
+        if self.task is not None and self.seed is None and self.trials > 1:
+            # A raw-task spec without a seed gives every trial the same
+            # derived stream, so "averaging trials" would average
+            # identical numbers — reject instead of silently lying.
+            raise ValidationError(
+                "a raw-task spec with trials > 1 requires an explicit "
+                "'seed'; without one all trials would be identical"
+            )
         if self.x_values is not None and len(self.x_values) not in (
             n_points,
             0,

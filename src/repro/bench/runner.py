@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.bench.registry import BenchmarkCase, iter_benchmarks
 from repro.exceptions import ValidationError
+from repro.telemetry import Recorder, build_manifest, trace, write_trace
 
 __all__ = [
     "SCHEMA",
@@ -83,12 +84,17 @@ def time_case(case: BenchmarkCase, *, repeat: int = 3) -> dict:
     if runs < 1:
         raise ValidationError(f"repeat must be >= 1, got {runs}")
     workload = case.setup()
-    workload()  # warmup: first-call costs (imports, allocator) are not the routine
-    timings = []
-    for _ in range(runs):
-        started = time.perf_counter()
-        workload()
-        timings.append(time.perf_counter() - started)
+    # One bench.case span covers warmup plus every timed run, so a
+    # traced bench (``repro bench --trace``) shows each case's full
+    # wall-clock alongside the spans its workload emits internally.
+    with trace.span("bench.case", case=case.name, runs=runs) as span:
+        workload()  # warmup: first-call costs (imports, allocator) are not the routine
+        timings = []
+        for _ in range(runs):
+            started = time.perf_counter()
+            workload()
+            timings.append(time.perf_counter() - started)
+        span.set(seconds_min=min(timings))
     return {
         "group": case.group,
         "tags": list(case.tags),
@@ -296,6 +302,7 @@ def main_bench(args) -> int:
     """Entry point for the ``repro bench`` subcommand."""
     import repro.bench.hotpaths  # noqa: F401  (registration side effects)
     import repro.bench.pipelines  # noqa: F401
+    import repro.bench.telemetry  # noqa: F401
 
     if args.list:
         cases = iter_benchmarks(args.filter)
@@ -320,15 +327,44 @@ def main_bench(args) -> int:
             file=sys.stderr,
         )
 
+    trace_path = getattr(args, "trace", None)
+    recorder = Recorder() if trace_path is not None else None
     try:
-        payload = run_benchmarks(
-            filter_token=args.filter, repeat=args.repeat, progress=progress
-        )
+        if recorder is not None:
+            with trace.recording(recorder):
+                payload = run_benchmarks(
+                    filter_token=args.filter,
+                    repeat=args.repeat,
+                    progress=progress,
+                )
+        else:
+            payload = run_benchmarks(
+                filter_token=args.filter, repeat=args.repeat, progress=progress
+            )
     except ValidationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
     print(render_report(payload))
+
+    if recorder is not None:
+        # The manifest's timing table reuses the headline numbers, so a
+        # trace file is self-contained even without the BENCH_*.json.
+        manifest = build_manifest(
+            rows=[
+                {
+                    "key": name,
+                    "duration": entry["seconds_min"],
+                    "cached": False,
+                }
+                for name, entry in payload["benchmarks"].items()
+            ],
+            extra={"command": "bench", "filter": args.filter},
+        )
+        written = write_trace(
+            recorder.to_document(manifest=manifest), trace_path
+        )
+        print(f"wrote trace {written}", file=sys.stderr)
 
     if args.json is not None:
         for path in write_payload(payload, args.json):

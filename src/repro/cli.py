@@ -5,6 +5,8 @@ Usage (after ``pip install -e .``)::
     repro run my_sweep.json           # execute a JSON ExperimentSpec
     repro run spec.json --jobs 4      # parallel across 4 worker processes
     repro run spec.json --json        # structured ExperimentResult JSON
+    repro run spec.json --trace t.json  # record spans + run manifest
+    repro trace t.json                # render a recorded trace document
     repro list schemes                # registered randomization schemes
     repro list attacks                # registered reconstruction attacks
     repro list datasets               # registered dataset generators
@@ -29,6 +31,8 @@ optional terminal plot), or the full structured result with ``--json``.
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 
 from repro.api.builtin import builtin_spec
@@ -42,11 +46,20 @@ from repro.engine import (
     ResultCache,
     SerialExecutor,
     ThroughputReporter,
+    TraceReporter,
 )
 from repro.exceptions import ReproError
 from repro.experiments.ascii_plot import plot_series
 from repro.experiments.reporting import render_series
 from repro.registry import ATTACKS, DATASETS, SCHEMES
+from repro.telemetry import (
+    Recorder,
+    build_manifest,
+    render_trace,
+    trace,
+    validate_trace,
+    write_trace,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -102,6 +115,16 @@ def _add_engine_arguments(sub: argparse.ArgumentParser) -> None:
         help=(
             "result-cache directory (default $REPRO_CACHE_DIR or "
             "~/.cache/repro)"
+        ),
+    )
+    sub.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record the run as a repro-trace/v1 JSON document (spans, "
+            "counters, run manifest) at PATH; view it with "
+            "'repro trace PATH'"
         ),
     )
 
@@ -254,6 +277,45 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the registered benchmarks (with --filter) and exit",
     )
+    sub.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record per-case bench.case spans to a repro-trace/v1 "
+            "document at PATH"
+        ),
+    )
+
+    sub = subparsers.add_parser(
+        "trace",
+        help="inspect a recorded repro-trace/v1 document",
+        description=(
+            "Render the span tree, self-time aggregate, slowest-job "
+            "chart, and manifest summary of a trace recorded with "
+            "'repro run --trace' or 'repro bench --trace'."
+        ),
+    )
+    sub.add_argument("file", help="path to the trace JSON document")
+    sub.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="number of slowest jobs to chart (default 10)",
+    )
+    sub.add_argument(
+        "--depth",
+        type=int,
+        default=None,
+        metavar="D",
+        help="limit the span tree to D levels (default: unlimited)",
+    )
+    sub.add_argument(
+        "--validate",
+        action="store_true",
+        help="check the document against the schema and exit (no render)",
+    )
     return parser
 
 
@@ -274,6 +336,34 @@ def _engine_from_args(args) -> Engine:
     return Engine(executor=executor, cache=cache, progress=progress)
 
 
+def _execute_spec(spec, args):
+    """Run a spec through the engine, honoring ``--trace`` when given.
+
+    With ``--trace PATH`` the whole run is recorded — engine, pipeline,
+    and kernel spans plus cache counters — and written as a validated
+    ``repro-trace/v1`` document whose manifest joins the spec's seed
+    lineage with the per-job timings collected by a
+    :class:`~repro.engine.progress.TraceReporter`.
+    """
+    engine = _engine_from_args(args)
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None:
+        return run_spec(spec, engine=engine)
+    recorder = Recorder()
+    reporter = TraceReporter(inner=engine.progress)
+    engine.progress = reporter
+    with trace.recording(recorder):
+        result = run_spec(spec, engine=engine)
+    manifest = build_manifest(
+        spec=spec,
+        rows=reporter.rows,
+        extra={"command": "run", "elapsed": reporter.elapsed},
+    )
+    written = write_trace(recorder.to_document(manifest=manifest), trace_path)
+    print(f"wrote trace {written}", file=sys.stderr)
+    return result
+
+
 def _list_components(args) -> int:
     registry = _REGISTRIES[args.registry]
     for key in registry.names():
@@ -290,7 +380,7 @@ def _run_spec_file(args) -> int:
     except ReproError as exc:
         print(f"error: invalid spec: {exc}", file=sys.stderr)
         return 2
-    result = run_spec(spec, engine=_engine_from_args(args))
+    result = _execute_spec(spec, args)
     if args.json:
         print(result.to_json(indent=2))
         return 0
@@ -299,6 +389,27 @@ def _run_spec_file(args) -> int:
     if args.plot:
         print()
         print(plot_series(series))
+    return 0
+
+
+def _view_trace(args) -> int:
+    try:
+        payload = json.loads(pathlib.Path(args.file).read_text())
+    except FileNotFoundError:
+        print(f"error: trace file not found: {args.file}", file=sys.stderr)
+        return 2
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    try:
+        validate_trace(payload)
+    except ReproError as exc:
+        print(f"error: invalid trace document: {exc}", file=sys.stderr)
+        return 1
+    if args.validate:
+        print(f"{args.file}: valid repro-trace/v1 document")
+        return 0
+    print(render_trace(payload, top=args.top, max_depth=args.depth))
     return 0
 
 
@@ -311,6 +422,8 @@ def main(argv=None) -> int:
         return _run_spec_file(args)
     if args.experiment == "list":
         return _list_components(args)
+    if args.experiment == "trace":
+        return _view_trace(args)
     if args.experiment == "bench":
         # Imported lazily: the benchmark definitions import data
         # generators and attacks the other subcommands never need.
@@ -318,7 +431,6 @@ def main(argv=None) -> int:
 
         return main_bench(args)
 
-    engine = _engine_from_args(args)
     if args.experiment in _FIGURES:
         config = SweepConfig(
             n_records=args.records,
@@ -329,7 +441,7 @@ def main(argv=None) -> int:
         spec = builtin_spec(args.experiment, config)
     else:
         spec = builtin_spec(args.experiment)
-    series = run_spec(spec, engine=engine).to_series()
+    series = _execute_spec(spec, args).to_series()
     print(render_series(series))
     if getattr(args, "plot", False):
         print()

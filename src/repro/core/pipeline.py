@@ -17,6 +17,7 @@ from repro.exceptions import ConfigurationError
 from repro.metrics.error import per_attribute_rmse, root_mean_square_error
 from repro.randomization.base import DisguisedDataset, NoiseModel, RandomizationScheme
 from repro.reconstruction.base import ReconstructionResult, Reconstructor
+from repro.telemetry import trace
 from repro.utils.rng import as_generator
 from repro.utils.serialization import (
     restore_from_json,
@@ -284,10 +285,14 @@ def evaluate_attacks(
     outcomes: dict[str, AttackOutcome] = {}
     for name, reconstructor in attacks.items():
         try:
-            result = reconstructor.reconstruct(dataset)
+            with trace.span(
+                "pipeline.attack", attack=name, method=type(reconstructor).__name__
+            ):
+                result = reconstructor.reconstruct(dataset)
         except Exception as exc:
             if fail_fast:
                 raise
+            trace.count("pipeline.attack_failures")
             outcomes[name] = AttackOutcome(
                 name=name,
                 rmse=float("nan"),
@@ -296,12 +301,13 @@ def evaluate_attacks(
                 error=f"{type(exc).__name__}: {exc}",
             )
             continue
-        outcomes[name] = AttackOutcome(
-            name=name,
-            rmse=root_mean_square_error(dataset.original, result),
-            attribute_rmse=per_attribute_rmse(dataset.original, result),
-            result=result,
-        )
+        with trace.span("pipeline.metrics", attack=name):
+            outcomes[name] = AttackOutcome(
+                name=name,
+                rmse=root_mean_square_error(dataset.original, result),
+                attribute_rmse=per_attribute_rmse(dataset.original, result),
+                result=result,
+            )
     return outcomes
 
 
@@ -370,23 +376,34 @@ class AttackPipeline:
             Passed to :func:`evaluate_attacks`; ``False`` records
             per-attack exceptions in the report instead of raising.
         """
-        if isinstance(original, DisguisedDataset):
-            disguised = self._validate_disguised(original)
-        else:
-            if isinstance(original, SyntheticDataset):
-                table = original.values
+        with trace.span(
+            "pipeline.run",
+            scheme=type(self._scheme).__name__,
+            attacks=len(self._attacks),
+        ) as run_span:
+            if isinstance(original, DisguisedDataset):
+                disguised = self._validate_disguised(original)
             else:
-                table = original
-            generator = as_generator(rng)
-            disguised = self._scheme.disguise(table, generator)
-        outcomes = evaluate_attacks(
-            disguised, self._attacks, fail_fast=fail_fast
-        )
-        return PipelineReport(
-            outcomes=outcomes,
-            dataset=disguised,
-            metadata=dict(metadata or {}),
-        )
+                if isinstance(original, SyntheticDataset):
+                    table = original.values
+                else:
+                    table = original
+                generator = as_generator(rng)
+                with trace.span("pipeline.randomize"):
+                    disguised = self._scheme.disguise(table, generator)
+            run_span.set(
+                n_records=int(disguised.n_records),
+                n_attributes=int(disguised.n_attributes),
+            )
+            trace.count("pipeline.records", int(disguised.n_records))
+            outcomes = evaluate_attacks(
+                disguised, self._attacks, fail_fast=fail_fast
+            )
+            return PipelineReport(
+                outcomes=outcomes,
+                dataset=disguised,
+                metadata=dict(metadata or {}),
+            )
 
     def _validate_disguised(self, dataset: DisguisedDataset) -> DisguisedDataset:
         """Check a pre-disguised input against the configured scheme."""

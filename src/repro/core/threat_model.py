@@ -85,6 +85,31 @@ class ThreatModel:
             and self.udr_prior == other.udr_prior
         )
 
+    def __hash__(self) -> int:
+        # Field-based, consistent with __eq__: equal models hash equal,
+        # so ThreatModel works as a dict key / set member.  NaNs inside
+        # leaked_values are replaced by a sentinel because values_equal
+        # treats them as equal while hash(nan) is id-based on 3.10+.
+        values_key = None
+        if self.leaked_values is not None:
+            array = np.asarray(self.leaked_values, dtype=np.float64)
+            values_key = (
+                array.shape,
+                tuple(
+                    "nan" if value != value else value
+                    for value in array.ravel().tolist()
+                ),
+            )
+        return hash(
+            (
+                self.exploits_correlations,
+                self.exploits_serial_dependency,
+                tuple(self.leaked_attributes),
+                values_key,
+                self.udr_prior,
+            )
+        )
+
     @property
     def has_leak(self) -> bool:
         """True when partial value disclosure is part of the model."""

@@ -39,8 +39,13 @@ from repro.engine.jobs import (
     execute_job,
     resolve_task,
 )
-from repro.engine.progress import ProgressReporter, ThroughputReporter
+from repro.engine.progress import (
+    ProgressReporter,
+    ThroughputReporter,
+    TraceReporter,
+)
 from repro.exceptions import JobExecutionError
+from repro.telemetry import trace
 
 __all__ = [
     "CACHE_VERSION",
@@ -54,6 +59,7 @@ __all__ = [
     "ResultCache",
     "SerialExecutor",
     "ThroughputReporter",
+    "TraceReporter",
     "default_cache_dir",
     "default_worker_count",
     "derive_rng",
@@ -100,32 +106,55 @@ class Engine:
         pending: list[tuple[int, JobSpec]] = []
         completed = 0
         cached = 0
-        for index, spec in enumerate(specs):
-            hit = self.cache.get(spec) if self.cache is not None else None
-            if hit is not None:
-                results[index] = hit
-                completed += 1
-                cached += 1
-                self.progress.on_result(hit, completed, total)
-            else:
-                pending.append((index, spec))
+        with trace.span(
+            "engine.run",
+            jobs=total,
+            executor=type(self.executor).__name__,
+            workers=getattr(self.executor, "workers", 1),
+        ) as run_span:
+            for index, spec in enumerate(specs):
+                hit = self.cache.get(spec) if self.cache is not None else None
+                if hit is not None:
+                    results[index] = hit
+                    completed += 1
+                    cached += 1
+                    if trace.enabled():
+                        # A zero-length span keeps per-job provenance
+                        # uniform: cache hits appear in the trace with
+                        # their original compute cost as an attribute.
+                        with trace.span(
+                            "engine.job",
+                            task=spec.task,
+                            key=hit.key[:16],
+                            seed_path=list(spec.seed_path),
+                            cached=True,
+                            original_duration=hit.duration,
+                        ):
+                            pass
+                    self.progress.on_result(hit, completed, total)
+                else:
+                    pending.append((index, spec))
 
-        if pending:
-            pending_specs = [spec for _, spec in pending]
-            spec_by_key = {spec.key(): spec for spec in pending_specs}
+            if pending:
+                pending_specs = [spec for _, spec in pending]
+                spec_by_key = {spec.key(): spec for spec in pending_specs}
 
-            def on_done(result: JobResult) -> None:
-                nonlocal completed
-                completed += 1
-                # Persist immediately so a later job failure (or an
-                # interrupt) does not discard work already finished.
-                if self.cache is not None:
-                    self.cache.put(spec_by_key[result.key], result)
-                self.progress.on_result(result, completed, total)
+                def on_done(result: JobResult) -> None:
+                    nonlocal completed
+                    completed += 1
+                    # Persist immediately so a later job failure (or an
+                    # interrupt) does not discard work already finished.
+                    if self.cache is not None:
+                        self.cache.put(spec_by_key[result.key], result)
+                    # Spans recorded inside a worker process ride back
+                    # on the result; graft them under this run's span.
+                    trace.adopt(result.trace)
+                    self.progress.on_result(result, completed, total)
 
-            fresh = self.executor.run(pending_specs, callback=on_done)
-            for (index, _), result in zip(pending, fresh):
-                results[index] = result
+                fresh = self.executor.run(pending_specs, callback=on_done)
+                for (index, _), result in zip(pending, fresh):
+                    results[index] = result
+            run_span.set(cached=cached)
 
         self.progress.on_finish(
             time.perf_counter() - started, completed, cached

@@ -22,6 +22,7 @@ import tempfile
 
 from repro.engine.jobs import JobResult, JobSpec
 from repro.exceptions import ValidationError
+from repro.telemetry import trace
 from repro.utils.serialization import sanitize_for_json
 
 __all__ = ["default_cache_dir", "ResultCache"]
@@ -75,13 +76,16 @@ class ResultCache:
             if payload["task"] != spec.task or not isinstance(values, dict):
                 raise ValueError("cache entry does not match spec")
         except FileNotFoundError:
+            trace.count("cache.miss")
             return None
         except (ValueError, KeyError, TypeError, OSError):
             try:
                 path.unlink(missing_ok=True)
             except OSError:
                 pass  # read-only cache: treat as a plain miss
+            trace.count("cache.miss")
             return None
+        trace.count("cache.hit")
         return JobResult(key=key, values=values, duration=duration, cached=True)
 
     def put(self, spec: JobSpec, result: JobResult) -> None:
@@ -111,6 +115,7 @@ class ResultCache:
             with os.fdopen(handle, "w") as stream:
                 json.dump(payload, stream, allow_nan=False)
             os.replace(temp_name, path)
+            trace.count("cache.write")
         except BaseException:
             try:
                 os.unlink(temp_name)

@@ -12,19 +12,55 @@ from __future__ import annotations
 
 import abc
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
 from concurrent.futures import as_completed
+from dataclasses import replace
 from typing import Callable, Sequence
 
 from repro.engine.jobs import JobResult, JobSpec, execute_job
 from repro.exceptions import ValidationError
+from repro.telemetry import trace
+from repro.telemetry.recorder import Recorder
 
 __all__ = ["Executor", "SerialExecutor", "ParallelExecutor", "default_worker_count"]
 
 
-def _execute_chunk(specs: list[JobSpec]) -> list[JobResult]:
+def _traced_execute(spec: JobSpec, submitted_wall: float) -> JobResult:
+    """Run one job under a fresh worker-side recorder.
+
+    The job's ``engine.job`` span records the queue-wait vs. compute
+    split (wall-clock from dispatch to start, comparable across
+    processes, vs. the task's own monotonic duration), the worker pid,
+    and seed coordinates; the whole fragment rides back to the parent
+    on the result for adoption into the parent trace.
+    """
+    recorder = Recorder()
+    with trace.recording(recorder):
+        queue_wait = max(0.0, time.time() - submitted_wall)
+        with trace.span(
+            "engine.job",
+            task=spec.task,
+            key=spec.key()[:16],
+            seed_path=list(spec.seed_path),
+            worker=os.getpid(),
+            cached=False,
+            queue_wait=queue_wait,
+        ) as span:
+            result = execute_job(spec)
+            span.set(compute=result.duration)
+    return replace(result, trace=recorder.export_fragment())
+
+
+def _execute_chunk(
+    specs: list[JobSpec],
+    traced: bool = False,
+    submitted_wall: float = 0.0,
+) -> list[JobResult]:
     """Worker-side batch loop (module-level so the pool can pickle it)."""
-    return [execute_job(spec) for spec in specs]
+    if not traced:
+        return [execute_job(spec) for spec in specs]
+    return [_traced_execute(spec, submitted_wall) for spec in specs]
 
 
 def default_worker_count() -> int:
@@ -71,8 +107,25 @@ class SerialExecutor(Executor):
 
     def run(self, specs, callback=None):
         results = []
+        traced = trace.enabled()
         for spec in specs:
-            result = execute_job(spec)
+            if traced:
+                # In-process: the span lands directly on the active
+                # recorder (no fragment shipping), and there is no
+                # dispatch queue to wait in.
+                with trace.span(
+                    "engine.job",
+                    task=spec.task,
+                    key=spec.key()[:16],
+                    seed_path=list(spec.seed_path),
+                    worker=os.getpid(),
+                    cached=False,
+                    queue_wait=0.0,
+                ) as span:
+                    result = execute_job(spec)
+                    span.set(compute=result.duration)
+            else:
+                result = execute_job(spec)
             if callback is not None:
                 callback(result)
             results.append(result)
@@ -130,9 +183,10 @@ class ParallelExecutor(Executor):
         chunks = [specs[i:i + chunk] for i in range(0, len(specs), chunk)]
         chunk_results: list[list[JobResult] | None] = [None] * len(chunks)
         first_error: Exception | None = None
+        traced = trace.enabled()
         with _ProcessPool(max_workers=min(self.workers, len(chunks))) as pool:
             futures = {
-                pool.submit(_execute_chunk, batch): index
+                pool.submit(_execute_chunk, batch, traced, time.time()): index
                 for index, batch in enumerate(chunks)
             }
             # Harvest in completion order so every finished chunk reaches

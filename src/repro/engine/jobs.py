@@ -152,12 +152,19 @@ class JobResult:
         for cached results).
     cached:
         True when the result was served from the cache without running.
+    trace:
+        Serialized telemetry fragment recorded while the job ran in a
+        worker process (see :meth:`repro.telemetry.recorder.Recorder.
+        export_fragment`); ``None`` when tracing was disabled, for
+        cache hits, and for in-process execution (whose spans reach the
+        parent recorder directly).  Never cached.
     """
 
     key: str
     values: dict
     duration: float
     cached: bool = False
+    trace: dict | None = None
 
 
 def derive_rng(spec: JobSpec) -> np.random.Generator | None:

@@ -14,7 +14,7 @@ import time
 
 from repro.engine.jobs import JobResult
 
-__all__ = ["ProgressReporter", "ThroughputReporter"]
+__all__ = ["ProgressReporter", "ThroughputReporter", "TraceReporter"]
 
 
 class ProgressReporter:
@@ -80,3 +80,54 @@ class ThroughputReporter(ProgressReporter):
                 f"({cached} from cache)" + " " * 16 + "\n"
             )
             self.stream.flush()
+
+
+class TraceReporter(ProgressReporter):
+    """Collects the per-job timing rows a run manifest is built from.
+
+    The telemetry sibling of :class:`ThroughputReporter`: instead of
+    printing, it records one row per completed job — cache key,
+    duration, cache provenance, completion order — for
+    :func:`repro.telemetry.manifest.build_manifest` to join onto the
+    spec's job table.  An optional ``inner`` reporter receives every
+    hook unchanged, so tracing composes with terminal progress output.
+
+    Parameters
+    ----------
+    inner:
+        Reporter to forward all hooks to (e.g. a
+        :class:`ThroughputReporter`), or ``None``.
+    """
+
+    def __init__(self, inner: ProgressReporter | None = None):
+        self.inner = inner
+        self.rows: list[dict] = []
+        self.total = 0
+        self.elapsed: float | None = None
+        self.cached = 0
+
+    def on_start(self, total: int) -> None:
+        self.total = total
+        self.rows = []
+        self.elapsed = None
+        self.cached = 0
+        if self.inner is not None:
+            self.inner.on_start(total)
+
+    def on_result(self, result: JobResult, completed: int, total: int) -> None:
+        self.rows.append(
+            {
+                "key": result.key,
+                "duration": float(result.duration),
+                "cached": bool(result.cached),
+                "order": completed,
+            }
+        )
+        if self.inner is not None:
+            self.inner.on_result(result, completed, total)
+
+    def on_finish(self, elapsed: float, completed: int, cached: int) -> None:
+        self.elapsed = float(elapsed)
+        self.cached = cached
+        if self.inner is not None:
+            self.inner.on_finish(elapsed, completed, cached)

@@ -15,9 +15,68 @@ from repro.exceptions import ValidationError
 from repro.api.config import ExperimentSeries
 from repro.utils.validation import check_positive_int
 
-__all__ = ["plot_series"]
+__all__ = ["plot_series", "bar_chart"]
 
 _GLYPHS = "*o+x#@%&"
+
+
+def bar_chart(
+    labels,
+    values,
+    *,
+    width: int = 48,
+    value_format=None,
+) -> str:
+    """Render labeled non-negative values as horizontal ASCII bars.
+
+    Used by the ``repro trace`` viewer for its top-N-slowest-jobs
+    section, and usable for any small ranked summary.
+
+    Parameters
+    ----------
+    labels:
+        One label per bar.
+    values:
+        Non-negative finite numbers, same length as ``labels``.
+    width:
+        Maximum bar length in characters.
+    value_format:
+        Optional ``callable(value) -> str`` for the right-hand value
+        column; defaults to ``"{:g}"`` formatting.
+
+    Returns
+    -------
+    str
+        One line per bar: ``label |#### value``.
+    """
+    labels = [str(label) for label in labels]
+    values = [float(value) for value in values]
+    if len(labels) != len(values):
+        raise ValidationError(
+            f"bar_chart got {len(labels)} labels for {len(values)} values"
+        )
+    if not labels:
+        raise ValidationError("bar_chart needs at least one bar")
+    if any(not np.isfinite(value) or value < 0.0 for value in values):
+        raise ValidationError(
+            "bar_chart values must be finite and non-negative"
+        )
+    width = check_positive_int(width, "width", minimum=8)
+    if value_format is None:
+        value_format = "{:g}".format
+    peak = max(values)
+    label_width = min(max(len(label) for label in labels), 32)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(value / peak * width)) if peak > 0 else ""
+        # At least one glyph for a nonzero value, so tiny bars stay visible.
+        if value > 0 and not bar:
+            bar = "#"
+        lines.append(
+            f"{label[:label_width]:<{label_width}} |{bar:<{width}} "
+            f"{value_format(value)}"
+        )
+    return "\n".join(lines)
 
 
 def plot_series(

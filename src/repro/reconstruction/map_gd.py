@@ -25,6 +25,7 @@ from repro.stats.density import (
     GaussianDensity,
     GaussianMixtureDensity,
 )
+from repro.telemetry import trace
 from repro.utils.validation import check_in_range, check_positive_int
 
 __all__ = ["MAPGradientReconstructor"]
@@ -127,16 +128,22 @@ class MAPGradientReconstructor(Reconstructor):
             raise ValidationError(
                 f"got {len(self._priors)} priors for {m} attributes"
             )
-        estimate = np.empty_like(disguised)
-        for j in range(m):
-            noise = noise_marginal_density(noise_model, j)
-            if noise.variance <= 0.0:
-                raise ValidationError(
-                    f"attribute {j} has non-positive noise variance"
+        # One coarse span for the whole multi-column ascent; when
+        # tracing is off this is a shared no-op singleton, so the hook
+        # costs one predicate check per reconstruct call.
+        with trace.span(
+            "map_gd.reconstruct", n=n, m=m, n_starts=self._n_starts
+        ):
+            estimate = np.empty_like(disguised)
+            for j in range(m):
+                noise = noise_marginal_density(noise_model, j)
+                if noise.variance <= 0.0:
+                    raise ValidationError(
+                        f"attribute {j} has non-positive noise variance"
+                    )
+                estimate[:, j] = self._map_column(
+                    disguised[:, j] - noise.mean, self._priors[j], noise
                 )
-            estimate[:, j] = self._map_column(
-                disguised[:, j] - noise.mean, self._priors[j], noise
-            )
         return ReconstructionResult(
             estimate=estimate,
             method=self.name,

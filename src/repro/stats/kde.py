@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.stats.density import Density
+from repro.telemetry import trace
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_in_range, check_vector
 
@@ -112,6 +113,15 @@ class GaussianKDE(Density):
             ``cutoff`` bandwidths truncated (see the class docstring
             for the — sub-ulp — error bound).
         """
+        if not trace.enabled():
+            return self._pdf(x)
+        with trace.span("kde.pdf", n_samples=self.n_samples) as span:
+            out = self._pdf(x)
+            span.set(n_eval=int(out.size))
+            return out
+
+    def _pdf(self, x) -> np.ndarray:
+        """The uninstrumented windowed evaluation behind :meth:`pdf`."""
         array = self._as_array(x)
         flat = np.atleast_1d(array).ravel().astype(np.float64)
         out = np.zeros(flat.size, dtype=np.float64)

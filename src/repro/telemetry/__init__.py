@@ -1,0 +1,80 @@
+"""Zero-dependency tracing, metrics, and run-provenance layer.
+
+The measurement substrate under every scale-out direction: you cannot
+autotune, shard, or regress what you cannot observe.  The package
+provides
+
+* hierarchical **spans** with monotonic timing and per-span attributes
+  (:mod:`~repro.telemetry.spans`), recorded through the
+  :mod:`~repro.telemetry.trace` facade — a no-op fast path when no
+  recorder is active, so hot kernels stay permanently instrumented;
+* **counters and gauges** (cache hits, jobs dispatched) on the same
+  thread-safe :class:`~repro.telemetry.recorder.Recorder`, which
+  serializes everything to a versioned ``repro-trace/v1`` document
+  (:mod:`~repro.telemetry.schema`) and merges fragments shipped back
+  from ``ParallelExecutor`` worker processes;
+* **run manifests** (:mod:`~repro.telemetry.manifest`): spec hash, seed
+  lineage, git revision, platform, package versions, per-job timings;
+* an ASCII **viewer** (:mod:`~repro.telemetry.viewer`) behind
+  ``repro trace <file>``.
+
+Typical use::
+
+    from repro.telemetry import Recorder, trace
+
+    recorder = Recorder()
+    with trace.recording(recorder):
+        result = run_spec("sweep.json")
+    document = recorder.to_document(manifest=build_manifest(spec=spec))
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.telemetry import trace
+from repro.telemetry.manifest import (
+    MANIFEST_KIND,
+    build_manifest,
+    git_revision,
+    package_versions,
+    platform_info,
+    spec_fingerprint,
+)
+from repro.telemetry.recorder import Recorder
+from repro.telemetry.schema import TRACE_SCHEMA, validate_trace
+from repro.telemetry.spans import Span
+from repro.telemetry.viewer import format_seconds, render_trace
+
+__all__ = [
+    "MANIFEST_KIND",
+    "Recorder",
+    "Span",
+    "TRACE_SCHEMA",
+    "build_manifest",
+    "format_seconds",
+    "git_revision",
+    "package_versions",
+    "platform_info",
+    "render_trace",
+    "spec_fingerprint",
+    "trace",
+    "validate_trace",
+    "write_trace",
+]
+
+
+def write_trace(document: dict, path) -> pathlib.Path:
+    """Validate ``document`` and write it to ``path`` as strict JSON.
+
+    Validation-on-write means every file this function produces is a
+    well-formed ``repro-trace/v1`` document — the same guarantee the
+    ``repro trace --validate`` CI step checks from the outside.
+    """
+    validate_trace(document)
+    target = pathlib.Path(path)
+    target.write_text(
+        json.dumps(document, indent=2, allow_nan=False) + "\n"
+    )
+    return target

@@ -1,0 +1,179 @@
+"""The tracing facade instrumented code calls.
+
+Usage in instrumented modules::
+
+    from repro.telemetry import trace
+
+    with trace.span("em.sweep", n=n) as span:
+        ...
+        span.set(iterations=iterations)
+    trace.count("cache.hit")
+
+The module holds at most one *active* :class:`~repro.telemetry.
+recorder.Recorder` per process.  When none is active — the default —
+every call here is a no-op on a fast path: :func:`span` returns a
+shared singleton context manager and :func:`count`/:func:`gauge`
+return after one global read, so permanently-instrumented hot paths
+cost nothing measurable when tracing is off (pinned by the
+``telemetry.overhead`` micro-benchmark and its regression test).
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.telemetry.recorder import Recorder
+from repro.telemetry.spans import Span
+
+__all__ = [
+    "enabled",
+    "active_recorder",
+    "recording",
+    "disabled",
+    "span",
+    "count",
+    "gauge",
+    "adopt",
+    "current_span",
+]
+
+#: The process-wide active recorder; ``None`` disables all tracing.
+_ACTIVE: Recorder | None = None
+
+
+class _NullSpan:
+    """Shared do-nothing stand-in for :class:`Span` when tracing is off."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> "_NullSpan":
+        """Ignore attributes (tracing is disabled)."""
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: The singleton no-op context manager :func:`span` hands out while
+#: tracing is disabled — reused, never allocated per call.
+NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager that opens/closes one span on the recorder."""
+
+    __slots__ = ("_recorder", "_name", "_attrs", "_span")
+
+    def __init__(self, recorder: Recorder, name: str, attrs: dict):
+        self._recorder = recorder
+        self._name = name
+        self._attrs = attrs
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        self._span = self._recorder.begin_span(self._name, self._attrs)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._recorder.end_span(self._span)
+        return False
+
+
+def enabled() -> bool:
+    """True when a recorder is active in this process."""
+    return _ACTIVE is not None
+
+
+def active_recorder() -> Recorder | None:
+    """The active recorder, or ``None`` when tracing is disabled."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def recording(recorder: Recorder | None = None):
+    """Activate a recorder for the duration of the ``with`` block.
+
+    Parameters
+    ----------
+    recorder:
+        The recorder to activate; a fresh one is created when omitted.
+        The previously active recorder (usually ``None``) is restored
+        on exit, so activations nest safely.
+
+    Yields
+    ------
+    Recorder
+        The active recorder.
+    """
+    global _ACTIVE
+    active = recorder if recorder is not None else Recorder()
+    previous = _ACTIVE
+    _ACTIVE = active
+    try:
+        yield active
+    finally:
+        _ACTIVE = previous
+
+
+@contextlib.contextmanager
+def disabled():
+    """Suppress tracing for the duration of the ``with`` block.
+
+    The inverse of :func:`recording`: code inside the block sees
+    tracing as off even under an active recorder.  Used by workloads
+    that must measure (or guarantee) the no-op fast path regardless of
+    the caller's tracing state, e.g. the overhead micro-benchmark.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = None
+    try:
+        yield
+    finally:
+        _ACTIVE = previous
+
+
+def span(name: str, **attrs):
+    """A context manager timing ``name`` with ``attrs`` annotations.
+
+    Returns the shared no-op singleton when tracing is disabled; the
+    ``with`` body always receives an object supporting ``.set(**kw)``.
+    """
+    recorder = _ACTIVE
+    if recorder is None:
+        return NULL_SPAN
+    return _SpanContext(recorder, name, attrs)
+
+
+def count(name: str, value: float = 1) -> None:
+    """Increment a counter on the active recorder (no-op when disabled)."""
+    recorder = _ACTIVE
+    if recorder is not None:
+        recorder.count(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge on the active recorder (no-op when disabled)."""
+    recorder = _ACTIVE
+    if recorder is not None:
+        recorder.gauge(name, value)
+
+
+def adopt(fragment: dict | None) -> None:
+    """Merge a worker-exported trace fragment (no-op when disabled)."""
+    recorder = _ACTIVE
+    if recorder is not None and fragment is not None:
+        recorder.adopt(fragment)
+
+
+def current_span() -> Span | None:
+    """The innermost open span on this thread, or ``None``."""
+    recorder = _ACTIVE
+    if recorder is None:
+        return None
+    return recorder.current_span()

@@ -161,3 +161,21 @@ class TestXFromGuards:
         spec = raw_spec(1, x_from="dissimilarity")
         with pytest.raises(ValidationError, match="dissimilarity"):
             aggregate_payloads(spec, [[{"rmse": {"SF": 1.0}}]])
+
+
+class TestListPayloadRejection:
+    def test_list_payload_rejected_across_points(self):
+        spec = raw_spec(2)
+        with pytest.raises(ValidationError, match="list-valued"):
+            aggregate_payloads(
+                spec,
+                [[{"empirical": [1.0, 2.0]}], [{"empirical": [3.0, 4.0]}]],
+            )
+
+    def test_list_payload_rejected_across_trials(self):
+        spec = raw_spec(1, trials=2)
+        with pytest.raises(ValidationError, match="list-valued"):
+            aggregate_payloads(
+                spec,
+                [[{"empirical": [1.0, 2.0]}, {"empirical": [3.0, 4.0]}]],
+            )

@@ -252,3 +252,30 @@ class TestRunSpecEngineDefaults:
         assert build_engine().cache is None
         assert build_engine(jobs=1).cache is None
         assert build_engine(cache=True).cache is not None
+
+
+class TestRawTaskSeedGuard:
+    def test_raw_task_without_seed_rejects_multiple_trials(self):
+        with pytest.raises(ValidationError, match="trials"):
+            ExperimentSpec(
+                name="raw",
+                task="repro.experiments.tasks:ablation_samplesize_point",
+                points=({"n_records": 100, "data_seed": 1},),
+                params={"spectrum": [10.0, 1.0], "noise_std": 5.0,
+                        "attack_seed": 3},
+                trials=3,
+            )
+
+    def test_raw_task_with_seed_allows_multiple_trials(self):
+        spec = ExperimentSpec(
+            name="raw",
+            task="repro.experiments.tasks:ablation_samplesize_point",
+            points=({"n_records": 100, "data_seed": 1},),
+            params={"spectrum": [10.0, 1.0], "noise_std": 5.0,
+                    "attack_seed": 3},
+            trials=3,
+            seed=9,
+        )
+        assert [job.seed_path for job in spec.compile_jobs()] == [
+            (0, 0), (0, 1), (0, 2),
+        ]

@@ -100,3 +100,53 @@ class TestPlotSeries:
         )
         text = plot_series(series)
         assert "*" in text
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        from repro.experiments.ascii_plot import bar_chart
+
+        text = bar_chart(["a", "b"], [4.0, 2.0], width=8)
+        first, second = text.splitlines()
+        assert first.count("#") == 8
+        assert second.count("#") == 4
+        assert first.startswith("a")
+        assert "|" in first
+
+    def test_tiny_nonzero_value_keeps_one_glyph(self):
+        from repro.experiments.ascii_plot import bar_chart
+
+        text = bar_chart(["big", "tiny"], [1000.0, 0.001], width=10)
+        assert text.splitlines()[1].count("#") == 1
+
+    def test_zero_values_draw_no_bar(self):
+        from repro.experiments.ascii_plot import bar_chart
+
+        text = bar_chart(["empty"], [0.0])
+        assert "#" not in text
+
+    def test_value_format_hook(self):
+        from repro.experiments.ascii_plot import bar_chart
+
+        text = bar_chart(["x"], [0.5], value_format=lambda v: f"<{v}>")
+        assert text.endswith("<0.5>")
+
+    def test_long_labels_truncated(self):
+        from repro.experiments.ascii_plot import bar_chart
+
+        text = bar_chart(["L" * 50, "s"], [1.0, 1.0])
+        assert text.splitlines()[0].startswith("L" * 32 + " ")
+
+    def test_validation(self):
+        from repro.experiments.ascii_plot import bar_chart
+
+        with pytest.raises(ValidationError, match="labels"):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValidationError, match="at least one"):
+            bar_chart([], [])
+        with pytest.raises(ValidationError, match="non-negative"):
+            bar_chart(["a"], [-1.0])
+        with pytest.raises(ValidationError, match="non-negative"):
+            bar_chart(["a"], [float("nan")])
+        with pytest.raises(ValidationError, match="width"):
+            bar_chart(["a"], [1.0], width=4)

@@ -57,3 +57,41 @@ class TestBuildAttacks:
         )
         text = repr(model)
         assert "serial" in text and "leak[1]" in text
+
+
+class TestHash:
+    def test_equal_models_hash_equal(self):
+        first = ThreatModel(
+            leaked_attributes=(0, 2),
+            leaked_values=np.arange(6.0).reshape(3, 2),
+        )
+        second = ThreatModel(
+            leaked_attributes=(0, 2),
+            leaked_values=np.arange(6.0).reshape(3, 2),
+        )
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_distinct_models_usable_as_dict_keys(self):
+        baseline = ThreatModel(exploits_correlations=False)
+        serial = ThreatModel(exploits_serial_dependency=True)
+        table = {baseline: "udr-only", serial: "smoothers"}
+        assert table[ThreatModel(exploits_correlations=False)] == "udr-only"
+        assert table[ThreatModel(exploits_serial_dependency=True)] == "smoothers"
+        assert len({baseline, serial, ThreatModel(exploits_correlations=False)}) == 2
+
+    def test_nan_leaked_values_hash_consistently(self):
+        values = np.array([[1.0, float("nan")]])
+        first = ThreatModel(leaked_attributes=(0, 1), leaked_values=values)
+        second = ThreatModel(
+            leaked_attributes=(0, 1), leaked_values=values.copy()
+        )
+        # values_equal treats NaN == NaN, so hashes must agree too
+        # (hash(nan) is id-based on Python >= 3.10).
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_hash_differs_with_fields(self):
+        assert hash(ThreatModel(udr_prior="gaussian")) != hash(
+            ThreatModel(udr_prior="reconstructed")
+        )
