@@ -85,8 +85,8 @@ def sweep():
 
 def test_mask_mining(benchmark, sweep):
     # Gentle randomization: perfect recovery of the frequent itemsets.
-    assert sweep.curve("recall")[0] == 1.0
-    assert sweep.curve("precision")[0] == 1.0
+    assert sweep.curve("recall")[0] > 1.0 - 1e-12
+    assert sweep.curve("precision")[0] > 1.0 - 1e-12
     # Support estimates stay unbiased but noisier as p falls.
     errors = sweep.curve("max_support_error")
     assert errors[0] < 0.02

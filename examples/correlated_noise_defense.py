@@ -93,7 +93,8 @@ def main() -> None:
             test.values,
             test_labels,
         )
-        tag = "  <- independent (baseline)" if profile == 1.0 else ""
+        is_baseline = abs(profile - 1.0) < 1e-12
+        tag = "  <- independent (baseline)" if is_baseline else ""
         print(
             f"{profile:>8.2f} {designed.dissimilarity:>8.4f} "
             f"{best_rmse:>17.3f} {recovery:>17.4f} {accuracy:>15.3f}{tag}"

@@ -1,0 +1,54 @@
+"""Static analysis for determinism and parallel-safety invariants.
+
+``repro check`` (CLI) and :func:`run_check` (API) enforce, at parse
+time, the contracts the rest of the repository promises at runtime:
+explicitly seeded randomness, pickle-safe engine tasks, array-aware
+dataclass equality, clock-free kernels, and stable registry spec
+signatures.  Each shipped rule is distilled from a bug this repo
+actually had; see ``docs/guides/static-analysis.md`` for the catalog
+with the incident each rule would have caught.
+
+Quick use::
+
+    from repro.analysis import run_check, render_report
+
+    report = run_check(["src"])          # full catalog
+    print(render_report(report))
+    assert report.ok
+
+Suppress a deliberate violation inline, with a justification::
+
+    if variance == 0.0:  # repro: ignore[float-eq] exact degenerate guard
+"""
+
+from repro.analysis.base import (
+    RULES,
+    Finding,
+    ModuleContext,
+    Rule,
+    RuleRegistry,
+    register_rule,
+)
+from repro.analysis.report import (
+    REPORT_VERSION,
+    render_report,
+    render_rules,
+    report_payload,
+)
+from repro.analysis.runner import CheckReport, discover_files, run_check
+
+__all__ = [
+    "REPORT_VERSION",
+    "RULES",
+    "CheckReport",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "RuleRegistry",
+    "discover_files",
+    "register_rule",
+    "render_report",
+    "render_rules",
+    "report_payload",
+    "run_check",
+]

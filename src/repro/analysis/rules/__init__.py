@@ -1,0 +1,36 @@
+"""The shipped rule catalog.
+
+Importing this package registers every built-in rule with
+:data:`repro.analysis.base.RULES`; the registry also imports the
+submodules lazily on first lookup, so either entry point sees the full
+catalog.  Current rules (key → module):
+
+======================  =========================================
+``global-rng``          :mod:`repro.analysis.rules.determinism`
+``wall-clock``          :mod:`repro.analysis.rules.determinism`
+``ndarray-eq``          :mod:`repro.analysis.rules.dataclass_eq`
+``task-pickle``         :mod:`repro.analysis.rules.pickle_safety`
+``mutable-default``     :mod:`repro.analysis.rules.api_surface`
+``float-eq``            :mod:`repro.analysis.rules.api_surface`
+``bare-lock``           :mod:`repro.analysis.rules.concurrency`
+``spec-signature``      :mod:`repro.analysis.rules.registry_contract`
+======================  =========================================
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (registration imports)
+    api_surface,
+    concurrency,
+    dataclass_eq,
+    determinism,
+    pickle_safety,
+    registry_contract,
+)
+
+__all__ = [
+    "api_surface",
+    "concurrency",
+    "dataclass_eq",
+    "determinism",
+    "pickle_safety",
+    "registry_contract",
+]

@@ -1,0 +1,146 @@
+"""Rules for API-surface hazards: mutable defaults and float equality.
+
+Both are classic Python footguns with a determinism twist here: a
+mutable default is cross-call shared state (the very thing the seeded
+engine exists to eliminate), and an exact float ``==`` encodes an
+assumption the numerics do not honor once a kernel is vectorized or
+reordered — the PR-3 vectorization kept results *bit-identical* only
+because nothing downstream gated on exact float equality.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import Finding, ModuleContext, Rule, register_rule
+
+__all__ = ["MutableDefaultRule", "FloatEqRule"]
+
+#: Constructor names whose bare call is a fresh mutable container.
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _describe_default(node: ast.expr) -> str | None:
+    """A short description when the default is mutable, else ``None``."""
+    if isinstance(node, ast.List):
+        return "[]"
+    if isinstance(node, ast.Dict):
+        return "{}"
+    if isinstance(node, ast.Set):
+        return "set literal"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+        and not node.args
+        and not node.keywords
+    ):
+        return f"{node.func.id}()"
+    return None
+
+
+@register_rule("mutable-default")
+class MutableDefaultRule(Rule):
+    """Public functions must not use mutable default arguments."""
+
+    title = "mutable default argument on a public function"
+    severity = "error"
+    rationale = (
+        "A mutable default is evaluated once at def time and shared by "
+        "every call — hidden cross-call state in a codebase whose whole "
+        "premise is that results are a pure function of (spec, seed).  "
+        "A cache dict or accumulator default turns the first sweep's "
+        "data into every later sweep's input."
+    )
+    hint = (
+        "Default to None and create the container inside the function "
+        "(or use dataclasses.field(default_factory=...) on dataclass "
+        "fields)."
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            arguments = node.args
+            defaults = list(arguments.defaults) + [
+                default
+                for default in arguments.kw_defaults
+                if default is not None
+            ]
+            for default in defaults:
+                description = _describe_default(default)
+                if description is not None:
+                    yield self.finding(
+                        context,
+                        default,
+                        f"public function {node.name}() has mutable "
+                        f"default {description}; the object is shared "
+                        "across calls",
+                    )
+
+
+@register_rule("float-eq")
+class FloatEqRule(Rule):
+    """No exact == / != against float literals outside tests."""
+
+    title = "exact equality comparison against a float literal"
+    severity = "warning"
+    rationale = (
+        "Exact float equality encodes an assumption about the bit "
+        "pattern a computation produces; any reordering (vectorization, "
+        "BLAS dispatch, accumulation order across workers) silently "
+        "flips the branch.  The PR-3 kernel rewrites were only safe "
+        "because no production branch gated on exact float equality."
+    )
+    hint = (
+        "Compare with a tolerance (math.isclose / np.isclose), or — "
+        "for genuine degenerate-value guards like 'variance == 0.0' — "
+        "keep the exact test and suppress with a justification."
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        stem = context.module.rpartition(".")[2]
+        if stem.startswith("test_") or stem == "conftest":
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if self._is_nan_idiom(left, right):
+                    continue
+                literal = self._float_literal(left) or self._float_literal(
+                    right
+                )
+                if literal is not None:
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        context,
+                        node,
+                        f"exact float comparison '{symbol} {literal}'; "
+                        "use a tolerance or justify the exact guard",
+                    )
+
+    @staticmethod
+    def _float_literal(node: ast.expr) -> str | None:
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return repr(node.value)
+        if (
+            isinstance(node, ast.UnaryOp)
+            and isinstance(node.op, ast.USub)
+            and isinstance(node.operand, ast.Constant)
+            and isinstance(node.operand.value, float)
+        ):
+            return f"-{node.operand.value!r}"
+        return None
+
+    @staticmethod
+    def _is_nan_idiom(left: ast.expr, right: ast.expr) -> bool:
+        # `x != x` is the portable NaN test; identical sides are allowed.
+        return ast.dump(left) == ast.dump(right)

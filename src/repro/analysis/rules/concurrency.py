@@ -1,0 +1,66 @@
+"""Rule: lock acquisition must be scoped by a ``with`` block.
+
+The telemetry recorder is the one genuinely concurrent data structure
+in the repository (spans arrive from worker callbacks and the main
+thread at once).  A bare ``lock.acquire()`` that is not paired with a
+``finally: release()`` — and, in practice, even one that is — leaks the
+lock on the first exception between the two calls, deadlocking every
+later span.  ``with lock:`` is the only idiom that cannot leak.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import Finding, ModuleContext, Rule, register_rule
+
+__all__ = ["BareLockRule"]
+
+
+def _terminal_name(node: ast.expr) -> str:
+    """The last identifier of a Name/Attribute chain (lowercased)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr.lower()
+    if isinstance(node, ast.Name):
+        return node.id.lower()
+    return ""
+
+
+@register_rule("bare-lock")
+class BareLockRule(Rule):
+    """Use ``with lock:`` — never call ``.acquire()`` directly."""
+
+    title = "lock .acquire() outside a with-statement"
+    severity = "error"
+    rationale = (
+        "An exception between acquire() and release() leaves the "
+        "telemetry recorder's lock held forever: every later span "
+        "record blocks and the run hangs instead of failing.  The "
+        "with-statement releases on every exit path, including "
+        "KeyboardInterrupt during a parallel sweep."
+    )
+    hint = (
+        "Rewrite as 'with lock:' (timeout-based acquisition needs an "
+        "explicit try/finally and a suppression justifying it)."
+    )
+    scope = ("repro.telemetry", "repro.engine")
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr != "acquire":
+                continue
+            receiver = _terminal_name(func.value)
+            if "lock" in receiver or "mutex" in receiver:
+                yield self.finding(
+                    context,
+                    node,
+                    f"bare {receiver}.acquire(); an exception before "
+                    "release() holds the lock forever — use 'with "
+                    f"{receiver}:'",
+                )

@@ -1,0 +1,150 @@
+"""Rule: frozen dataclasses holding ndarrays need explicit equality.
+
+The dataclass-generated ``__eq__`` compares field tuples with ``==``;
+on an ndarray field that produces an elementwise array whose truth
+value raises the ambiguous-truth ``ValueError`` (or silently compares
+identity for object fields).  The generated ``__hash__`` of a frozen
+dataclass hashes the field tuple and raises ``TypeError`` on the first
+ndarray.  This exact bug shipped once already — see the PR-2 fix that
+retrofitted array-aware ``__eq__`` onto ``NoiseModel``,
+``DisguisedDataset``, ``PipelineReport`` and friends.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import Finding, ModuleContext, Rule, register_rule
+
+__all__ = ["NdarrayEqRule"]
+
+#: Annotation substrings that mark an array-typed field.
+_ARRAY_MARKERS = ("ndarray", "NDArray", "ArrayLike")
+
+
+def _decorator_parts(node: ast.expr) -> tuple[str, ast.Call | None]:
+    """Terminal decorator name plus the call node (None when bare)."""
+    call = None
+    if isinstance(node, ast.Call):
+        call = node
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr, call
+    if isinstance(node, ast.Name):
+        return node.id, call
+    return "", call
+
+
+def _keyword_bool(call: ast.Call | None, name: str, default: bool) -> bool:
+    """A literal True/False keyword on the decorator call."""
+    if call is None:
+        return default
+    for keyword in call.keywords:
+        if keyword.arg == name and isinstance(keyword.value, ast.Constant):
+            return bool(keyword.value.value)
+    return default
+
+
+def _field_compares(value: ast.expr | None) -> bool:
+    """False when the field() default sets ``compare=False``."""
+    if not isinstance(value, ast.Call):
+        return True
+    terminal = (
+        value.func.attr
+        if isinstance(value.func, ast.Attribute)
+        else value.func.id
+        if isinstance(value.func, ast.Name)
+        else ""
+    )
+    if terminal != "field":
+        return True
+    for keyword in value.keywords:
+        if keyword.arg == "compare" and isinstance(
+            keyword.value, ast.Constant
+        ):
+            return bool(keyword.value.value)
+    return True
+
+
+@register_rule("ndarray-eq")
+class NdarrayEqRule(Rule):
+    """Frozen dataclasses with ndarray fields must define equality."""
+
+    title = "frozen dataclass with ndarray field relies on generated __eq__/__hash__"
+    severity = "error"
+    rationale = (
+        "dataclass-generated __eq__ on an ndarray field raises the "
+        "ambiguous-truth ValueError the first time two instances are "
+        "compared, and the generated frozen __hash__ raises TypeError "
+        "on the unhashable array — both at the call site, far from the "
+        "class.  The repo hit this on NoiseModel/DisguisedDataset "
+        "(fixed in PR 2) and again on ThreatModel.__hash__ (fixed in "
+        "PR 4)."
+    )
+    hint = (
+        "Declare @dataclass(frozen=True, eq=False) and implement an "
+        "array-aware __eq__ via repro.utils.serialization.values_equal "
+        "(add a field-based __hash__ like ThreatModel's if instances "
+        "must be hashable), or exclude the array with "
+        "field(compare=False)."
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            finding = self._check_class(context, node)
+            if finding is not None:
+                yield finding
+
+    def _check_class(
+        self, context: ModuleContext, node: ast.ClassDef
+    ) -> Finding | None:
+        dataclass_call: ast.Call | None = None
+        is_dataclass = False
+        for decorator in node.decorator_list:
+            name, call = _decorator_parts(decorator)
+            if name == "dataclass":
+                is_dataclass = True
+                dataclass_call = call
+                break
+        if not is_dataclass:
+            return None
+        if not _keyword_bool(dataclass_call, "frozen", False):
+            return None
+        if not _keyword_bool(dataclass_call, "eq", True):
+            return None
+        array_fields = [
+            statement.target.id
+            for statement in node.body
+            if isinstance(statement, ast.AnnAssign)
+            and isinstance(statement.target, ast.Name)
+            and self._is_array_annotation(statement.annotation)
+            and _field_compares(statement.value)
+        ]
+        if not array_fields:
+            return None
+        defined = {
+            statement.name
+            for statement in node.body
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if "__eq__" in defined:
+            return None
+        return self.finding(
+            context,
+            node,
+            f"frozen dataclass {node.name!r} has ndarray field(s) "
+            f"{array_fields} but keeps the generated __eq__/__hash__ "
+            "(ambiguous-truth ValueError / unhashable TypeError); set "
+            "eq=False and define an array-aware __eq__",
+        )
+
+    @staticmethod
+    def _is_array_annotation(annotation: ast.expr) -> bool:
+        try:
+            text = ast.unparse(annotation)
+        except Exception:  # pragma: no cover - malformed annotation
+            return False
+        return any(marker in text for marker in _ARRAY_MARKERS)

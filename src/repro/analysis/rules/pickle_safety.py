@@ -1,0 +1,103 @@
+"""Rule: engine task modules must stay pickle- and fork-safe.
+
+Worker functions run inside process-pool workers that import the task
+module fresh (tasks travel as ``"package.module:function"`` strings —
+see :mod:`repro.engine.jobs`).  Three patterns defeat that contract:
+
+* a task bound to a ``lambda`` cannot be resolved by a clean import in
+  another process (and is not picklable at all);
+* a factory returning a nested function produces a callable that no
+  ``module:function`` string can name;
+* ``global`` statements mutate module state that every worker process
+  copies independently — the mutation silently diverges between the
+  parent and each worker.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import Finding, ModuleContext, Rule, register_rule
+
+__all__ = ["TaskPickleRule"]
+
+
+@register_rule("task-pickle")
+class TaskPickleRule(Rule):
+    """Task modules: no lambdas, closures, or global-state mutation."""
+
+    title = "pickle/fork hazard in an engine task module"
+    severity = "error"
+    rationale = (
+        "Engine jobs reference tasks by importable "
+        "'package.module:function' strings so worker processes resolve "
+        "them with a clean import.  Lambdas and closure-returning "
+        "factories cannot be named that way, and 'global' mutations "
+        "fork into per-worker copies that silently diverge from the "
+        "parent — results then depend on which worker ran which job."
+    )
+    hint = (
+        "Define every task as a module-level def taking "
+        "(params, rng); pass state through params (JSON-safe) instead "
+        "of module globals or captured closures."
+    )
+
+    def applies(self, context: ModuleContext) -> bool:
+        # Task modules by convention: repro.experiments.tasks,
+        # repro.api.tasks, and any future sibling named `tasks`.
+        return context.module.rpartition(".")[2] == "tasks"
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for statement in context.tree.body:
+            if isinstance(statement, ast.Assign) and isinstance(
+                statement.value, ast.Lambda
+            ):
+                yield self.finding(
+                    context,
+                    statement,
+                    "module-level lambda in a task module; worker "
+                    "processes cannot resolve or pickle it — use a "
+                    "module-level def",
+                )
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Global):
+                yield self.finding(
+                    context,
+                    node,
+                    f"'global {', '.join(node.names)}' mutates module "
+                    "state that diverges per worker process; pass state "
+                    "through task params",
+                )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_factory(context, node)
+
+    def _check_factory(
+        self, context: ModuleContext, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        inner_defs = {
+            child.name
+            for child in node.body
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Return) or child.value is None:
+                continue
+            value = child.value
+            if isinstance(value, ast.Lambda):
+                yield self.finding(
+                    context,
+                    value,
+                    f"{node.name}() returns a lambda; the result cannot "
+                    "be named by a 'module:function' task string",
+                )
+            elif (
+                isinstance(value, ast.Name) and value.id in inner_defs
+            ):
+                yield self.finding(
+                    context,
+                    child,
+                    f"{node.name}() returns nested function "
+                    f"{value.id!r}; closures cannot be resolved by the "
+                    "worker-side task import",
+                )

@@ -1,0 +1,134 @@
+"""Rule: registered components must honor the spec-method contract.
+
+:class:`repro.registry.Registry` dispatches ``create(spec)`` to
+``cls.from_spec(spec)`` and serializes with ``instance.to_spec()`` —
+zero extra arguments in both directions.  A drifted signature (an added
+required parameter, a forgotten ``@classmethod``) type-checks locally
+but explodes only when a JSON spec round-trips through a worker
+process or the result cache, far from the class that caused it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import Finding, ModuleContext, Rule, register_rule
+
+__all__ = ["SpecSignatureRule"]
+
+#: Decorator names that register a component class.
+_REGISTER_DECORATORS = frozenset(
+    {"register_scheme", "register_attack", "register_dataset", "register"}
+)
+
+
+def _registration(node: ast.ClassDef) -> str | None:
+    """The registry key when the class carries a register decorator."""
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        func = decorator.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else ""
+        )
+        if name in _REGISTER_DECORATORS:
+            if decorator.args and isinstance(decorator.args[0], ast.Constant):
+                return str(decorator.args[0].value)
+            return "?"
+    return None
+
+
+def _positional_arity(node: ast.FunctionDef | ast.AsyncFunctionDef) -> int:
+    return len(node.args.posonlyargs) + len(node.args.args)
+
+
+def _required_arity(node: ast.FunctionDef | ast.AsyncFunctionDef) -> int:
+    return _positional_arity(node) - len(node.args.defaults)
+
+
+def _is_classmethod(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    return any(
+        (isinstance(decorator, ast.Name) and decorator.id == "classmethod")
+        or (
+            isinstance(decorator, ast.Attribute)
+            and decorator.attr == "classmethod"
+        )
+        for decorator in node.decorator_list
+    )
+
+
+@register_rule("spec-signature")
+class SpecSignatureRule(Rule):
+    """Registered components: ``to_spec(self)`` / ``from_spec(cls, spec)``."""
+
+    title = "registered component with a drifted to_spec/from_spec signature"
+    severity = "error"
+    rationale = (
+        "Registry.create(spec) calls cls.from_spec(spec) and the "
+        "declarative layer calls instance.to_spec() with no arguments; "
+        "a drifted signature passes every local use and fails only "
+        "when a JSON spec is rebuilt inside a worker process or "
+        "rehydrated from the result cache — the failure points at the "
+        "engine, not at the class that drifted."
+    )
+    hint = (
+        "Keep exactly to_spec(self) and a @classmethod "
+        "from_spec(cls, spec); push optional knobs into the spec dict "
+        "itself."
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            key = _registration(node)
+            if key is None:
+                continue
+            yield from self._check_component(context, node, key)
+
+    def _check_component(
+        self, context: ModuleContext, node: ast.ClassDef, key: str
+    ) -> Iterator[Finding]:
+        methods = {
+            statement.name: statement
+            for statement in node.body
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        label = f"{node.name} (registered {key!r})"
+        to_spec = methods.get("to_spec")
+        # Either method may be inherited; only a *present* drifted
+        # definition is flagged (Registry.register verifies presence
+        # at import time already).
+        if to_spec is not None and (
+            _required_arity(to_spec) != 1 or to_spec.args.vararg is not None
+        ):
+            yield self.finding(
+                context,
+                to_spec,
+                f"{label}: to_spec must take exactly (self); the "
+                "declarative layer calls it with no arguments",
+            )
+        from_spec = methods.get("from_spec")
+        if from_spec is not None:
+            if not _is_classmethod(from_spec):
+                yield self.finding(
+                    context,
+                    from_spec,
+                    f"{label}: from_spec must be a @classmethod "
+                    "(Registry.create dispatches on the class)",
+                )
+            elif (
+                _required_arity(from_spec) != 2
+                or from_spec.args.vararg is not None
+            ):
+                yield self.finding(
+                    context,
+                    from_spec,
+                    f"{label}: from_spec must take exactly (cls, spec); "
+                    "Registry.create passes the spec dict alone",
+                )

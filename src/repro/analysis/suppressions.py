@@ -1,0 +1,70 @@
+"""Inline ``# repro: ignore[...]`` suppression comments.
+
+A finding is suppressed by a comment **on the same line** as the
+violation::
+
+    if prior_var == 0.0:  # repro: ignore[float-eq] exact degenerate guard
+
+``# repro: ignore[rule-a,rule-b]`` suppresses the listed rules only;
+a bare ``# repro: ignore`` suppresses every rule on that line.  Text
+after the closing bracket is free-form justification (encouraged).
+
+Suppressions are extracted with :mod:`tokenize` rather than a substring
+scan so the marker is only honored inside real comments — a string
+literal containing ``repro: ignore`` stays data.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+__all__ = ["ALL_RULES", "parse_suppressions", "is_suppressed"]
+
+#: Sentinel for a bare ``# repro: ignore`` (suppresses every rule).
+ALL_RULES = "*"
+
+_MARKER = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[^\]]*)\])?", re.IGNORECASE
+)
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number to the set of rule keys suppressed on that line.
+
+    A bare ``# repro: ignore`` maps to ``{ALL_RULES}``.  Unreadable
+    files (tokenize errors) yield no suppressions — the parse error
+    will already have surfaced as a checker-level failure.
+    """
+    suppressions: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _MARKER.search(token.string)
+            if match is None:
+                continue
+            listed = match.group("rules")
+            line = token.start[0]
+            keys = suppressions.setdefault(line, set())
+            if listed is None:
+                keys.add(ALL_RULES)
+            else:
+                keys.update(
+                    key.strip() for key in listed.split(",") if key.strip()
+                )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {}
+    return suppressions
+
+
+def is_suppressed(
+    suppressions: dict[int, set[str]], line: int, rule: str
+) -> bool:
+    """Whether ``rule`` is suppressed at ``line``."""
+    keys = suppressions.get(line)
+    if not keys:
+        return False
+    return ALL_RULES in keys or rule in keys

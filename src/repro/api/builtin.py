@@ -15,6 +15,9 @@ point the CLI and docs use.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any
+
 import numpy as np
 
 from repro.api.config import SweepConfig
@@ -50,10 +53,10 @@ _MARGINALS_TASK = "repro.experiments.tasks:ablation_marginals_shape"
 def _two_level_spec(
     name: str,
     x_label: str,
-    sweep_points,
-    spectrum_for_point,
+    sweep_points: Iterable[float],
+    spectrum_for_point: Callable[[Any], np.ndarray],
     config: SweepConfig,
-    metadata: dict,
+    metadata: dict[str, Any],
 ) -> ExperimentSpec:
     """Shared builder for Experiments 1-3 (i.i.d. noise, two-level spectra)."""
     points = list(sweep_points)
@@ -85,7 +88,7 @@ def _two_level_spec(
 def figure1_spec(
     config: SweepConfig | None = None,
     *,
-    attribute_counts=None,
+    attribute_counts: Sequence[int] | None = None,
     n_principal: int = 5,
 ) -> ExperimentSpec:
     """Experiment 1 / Figure 1: RMSE vs the number of attributes ``m``."""
@@ -98,7 +101,7 @@ def figure1_spec(
             f"all attribute counts must be >= n_principal={n_principal}"
         )
 
-    def spectrum_for(m: int):
+    def spectrum_for(m: int) -> np.ndarray:
         if m == n_principal:
             # Degenerate first point: every component is principal.
             return two_level_spectrum(
@@ -130,7 +133,7 @@ def figure1_spec(
 def figure2_spec(
     config: SweepConfig | None = None,
     *,
-    principal_counts=None,
+    principal_counts: Sequence[int] | None = None,
     n_attributes: int = 100,
 ) -> ExperimentSpec:
     """Experiment 2 / Figure 2: RMSE vs the number of principals ``p``."""
@@ -144,7 +147,7 @@ def figure2_spec(
         )
     trace = config.trace_for(n_attributes)
 
-    def spectrum_for(p: int):
+    def spectrum_for(p: int) -> np.ndarray:
         return two_level_spectrum(
             n_attributes,
             p,
@@ -170,7 +173,7 @@ def figure2_spec(
 def figure3_spec(
     config: SweepConfig | None = None,
     *,
-    eigenvalues=None,
+    eigenvalues: Sequence[float] | None = None,
     n_attributes: int = 100,
     n_principal: int = 20,
     principal_value: float = 400.0,
@@ -185,7 +188,7 @@ def figure3_spec(
             f"non-principal eigenvalues must lie in (0, {principal_value}]"
         )
 
-    def spectrum_for(e: float):
+    def spectrum_for(e: float) -> np.ndarray:
         return two_level_spectrum(
             n_attributes,
             n_principal,
@@ -213,7 +216,7 @@ def figure3_spec(
 def figure4_spec(
     config: SweepConfig | None = None,
     *,
-    profiles=None,
+    profiles: Sequence[float] | None = None,
     n_attributes: int = 100,
     n_principal: int = 50,
 ) -> ExperimentSpec:
@@ -259,7 +262,7 @@ def figure4_spec(
 def theorem52_spec(
     *,
     n_attributes: int = 100,
-    component_counts=(5, 20, 50, 80, 100),
+    component_counts: Sequence[int] = (5, 20, 50, 80, 100),
     noise_std: float = 5.0,
     n_records: int = 5000,
     seed: int = 52,
@@ -333,7 +336,7 @@ def ablation_selection_spec(
 
 def ablation_covariance_spec(
     *,
-    sample_sizes=(100, 200, 500, 1000, 2000, 5000),
+    sample_sizes: Sequence[int] = (100, 200, 500, 1000, 2000, 5000),
     n_attributes: int = 40,
     n_principal: int = 5,
     noise_std: float = 5.0,
@@ -374,7 +377,7 @@ def ablation_covariance_spec(
 
 def ablation_samplesize_spec(
     *,
-    sample_sizes=(100, 250, 500, 1000, 2500, 5000, 10000),
+    sample_sizes: Sequence[int] = (100, 250, 500, 1000, 2500, 5000, 10000),
     n_attributes: int = 50,
     n_principal: int = 5,
     noise_std: float = 5.0,
@@ -445,7 +448,7 @@ def ablation_utility_spec(
 
 def ablation_marginals_spec(
     *,
-    marginals=("normal", "lognormal", "uniform", "bimodal"),
+    marginals: Sequence[str] = ("normal", "lognormal", "uniform", "bimodal"),
     n_attributes: int = 30,
     n_principal: int = 4,
     n_records: int = 2000,
@@ -487,7 +490,7 @@ def ablation_marginals_spec(
 
 
 #: By-name catalog of the built-in spec builders.
-BUILTIN_SPECS = {
+BUILTIN_SPECS: dict[str, Callable[..., ExperimentSpec]] = {
     "figure1": figure1_spec,
     "figure2": figure2_spec,
     "figure3": figure3_spec,
@@ -501,7 +504,7 @@ BUILTIN_SPECS = {
 }
 
 
-def builtin_spec(name: str, *args, **kwargs) -> ExperimentSpec:
+def builtin_spec(name: str, *args: Any, **kwargs: Any) -> ExperimentSpec:
     """Build a built-in spec by experiment name."""
     try:
         builder = BUILTIN_SPECS[name]

@@ -19,6 +19,7 @@ scale (the paper does not publish its exact sample counts):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -72,7 +73,7 @@ class SweepConfig:
     n_trials: int = 1
     seed: int = 2005
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_positive_int(self.n_records, "n_records", minimum=2)
         check_in_range(
             self.noise_std, "noise_std", low=0.0, inclusive_low=False
@@ -121,9 +122,9 @@ class ExperimentSeries:
     x_label: str
     x_values: np.ndarray
     series: dict[str, np.ndarray]
-    metadata: dict = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         x = np.asarray(self.x_values, dtype=np.float64)
         object.__setattr__(self, "x_values", x)
         converted = {}
@@ -137,7 +138,7 @@ class ExperimentSeries:
             converted[key] = array
         object.__setattr__(self, "series", converted)
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         # Array-aware equality (the generated one raises on ndarrays).
         if not isinstance(other, ExperimentSeries):
             return NotImplemented

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -45,7 +46,7 @@ __all__ = ["ExperimentResult", "aggregate_payloads"]
 _FLOAT_SENTINELS = (NAN_SENTINEL, POS_INF_SENTINEL, NEG_INF_SENTINEL)
 
 
-def _numeric(value):
+def _numeric(value: Any) -> float | int | None:
     """The float a payload leaf contributes, or ``None`` to skip it."""
     if isinstance(value, bool):
         return None
@@ -57,7 +58,7 @@ def _numeric(value):
 
 
 def aggregate_payloads(
-    spec: ExperimentSpec, payloads: list[list[dict]]
+    spec: ExperimentSpec, payloads: list[list[dict[str, Any]]]
 ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
     """Aggregate raw payloads into ``(x_values, series)`` curves.
 
@@ -72,7 +73,7 @@ def aggregate_payloads(
     averaged: set[str] = set()
     x_accumulator = np.zeros(n_points) if spec.x_from is not None else None
 
-    def accumulate(label: str, point: int, value) -> None:
+    def accumulate(label: str, point: int, value: Any) -> None:
         number = _numeric(value)
         if number is None:
             return
@@ -162,13 +163,13 @@ class ExperimentResult:
 
     spec: ExperimentSpec
     x_values: np.ndarray
-    series: dict
-    payloads: tuple
-    stats: dict
+    series: dict[str, np.ndarray]
+    payloads: tuple[tuple[dict[str, Any], ...], ...]
+    stats: dict[str, Any]
 
     @classmethod
     def from_job_results(
-        cls, spec: ExperimentSpec, results
+        cls, spec: ExperimentSpec, results: Any
     ) -> "ExperimentResult":
         """Group and aggregate the engine's in-order job results."""
         results = list(results)
@@ -234,7 +235,7 @@ class ExperimentResult:
             metadata=dict(self.spec.metadata),
         )
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """Strict-JSON encoding (nan-safe); :meth:`from_dict` inverts."""
         return {
             "spec": self.spec.to_dict(),
@@ -250,7 +251,7 @@ class ExperimentResult:
         }
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "ExperimentResult":
+    def from_dict(cls, payload: dict[str, Any]) -> "ExperimentResult":
         """Rebuild a result from :meth:`to_dict` output."""
         return cls(
             spec=ExperimentSpec.from_dict(payload["spec"]),
@@ -276,7 +277,7 @@ class ExperimentResult:
         """Parse :meth:`to_json` output."""
         return cls.from_dict(json.loads(text))
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, ExperimentResult):
             return NotImplemented
         return (

@@ -14,10 +14,14 @@ from __future__ import annotations
 
 import os
 import pathlib
+from typing import Any
 
 from repro.api.result import ExperimentResult
 from repro.api.spec import ExperimentSpec
 from repro.engine import Engine, ParallelExecutor, ResultCache, SerialExecutor
+from repro.engine.executor import Executor
+from repro.engine.jobs import JobSpec
+from repro.engine.progress import ProgressReporter
 from repro.exceptions import ValidationError
 
 __all__ = ["Experiment", "build_engine", "run_spec"]
@@ -26,8 +30,8 @@ __all__ = ["Experiment", "build_engine", "run_spec"]
 def build_engine(
     *,
     jobs: int = 1,
-    cache: ResultCache | bool | str | os.PathLike | None = False,
-    progress=None,
+    cache: ResultCache | bool | str | os.PathLike[str] | None = False,
+    progress: ProgressReporter | None = None,
 ) -> Engine:
     """An engine from the common knobs.
 
@@ -46,6 +50,7 @@ def build_engine(
     progress:
         Optional :class:`~repro.engine.progress.ProgressReporter`.
     """
+    executor: Executor
     if jobs == 1:
         executor = SerialExecutor()
     else:
@@ -61,7 +66,7 @@ def build_engine(
     return Engine(executor=executor, cache=result_cache, progress=progress)
 
 
-def _coerce_spec(spec) -> ExperimentSpec:
+def _coerce_spec(spec: Any) -> ExperimentSpec:
     if isinstance(spec, ExperimentSpec):
         return spec
     if isinstance(spec, dict):
@@ -74,7 +79,9 @@ def _coerce_spec(spec) -> ExperimentSpec:
     )
 
 
-def run_spec(spec, *, engine: Engine | None = None, **engine_kwargs) -> ExperimentResult:
+def run_spec(
+    spec: Any, *, engine: Engine | None = None, **engine_kwargs: Any
+) -> ExperimentResult:
     """Execute an experiment spec and return its structured result.
 
     Parameters
@@ -108,22 +115,24 @@ class Experiment:
     >>> result = experiment.run()          # doctest: +SKIP
     """
 
-    def __init__(self, spec, *, engine: Engine | None = None):
+    def __init__(self, spec: Any, *, engine: Engine | None = None) -> None:
         self.spec = _coerce_spec(spec)
         self.engine = engine
 
     @classmethod
-    def from_dict(cls, payload: dict, **kwargs) -> "Experiment":
+    def from_dict(cls, payload: dict[str, Any], **kwargs: Any) -> "Experiment":
         """From a plain spec dict."""
         return cls(ExperimentSpec.from_dict(payload), **kwargs)
 
     @classmethod
-    def from_json(cls, text: str, **kwargs) -> "Experiment":
+    def from_json(cls, text: str, **kwargs: Any) -> "Experiment":
         """From a JSON spec document."""
         return cls(ExperimentSpec.from_json(text), **kwargs)
 
     @classmethod
-    def from_file(cls, path, **kwargs) -> "Experiment":
+    def from_file(
+        cls, path: str | os.PathLike[str], **kwargs: Any
+    ) -> "Experiment":
         """From a ``*.json`` spec file."""
         return cls(ExperimentSpec.from_file(pathlib.Path(path)), **kwargs)
 
@@ -132,11 +141,13 @@ class Experiment:
         """The spec's experiment name."""
         return self.spec.name
 
-    def jobs(self):
+    def jobs(self) -> list[JobSpec]:
         """The engine jobs this experiment compiles to."""
         return self.spec.compile_jobs()
 
-    def run(self, *, engine: Engine | None = None, **engine_kwargs) -> ExperimentResult:
+    def run(
+        self, *, engine: Engine | None = None, **engine_kwargs: Any
+    ) -> ExperimentResult:
         """Execute and aggregate (see :func:`run_spec`)."""
         chosen = engine if engine is not None else self.engine
         if chosen is not None and engine_kwargs:

@@ -31,6 +31,7 @@ import itertools
 import json
 import pathlib
 from dataclasses import dataclass, field, fields
+from typing import Any
 
 import numpy as np
 
@@ -48,7 +49,7 @@ GENERIC_TASK = "repro.api.tasks:attack_point"
 _SEED_MODES = ("grid", "root")
 
 
-def _apply_override(params: dict, path: str, value) -> None:
+def _apply_override(params: dict[str, Any], path: str, value: Any) -> None:
     """Set a dotted-path override like ``"scheme.std"`` inside params."""
     parts = path.split(".")
     target = params
@@ -108,23 +109,23 @@ class ExperimentSpec:
 
     name: str
     task: str | None = None
-    scheme: dict | None = None
-    attacks: dict | None = None
-    threat_model: dict | None = None
-    dataset: dict | None = None
-    params: dict = field(default_factory=dict)
-    grid: dict = field(default_factory=dict)
-    points: tuple = ()
+    scheme: dict[str, Any] | None = None
+    attacks: dict[str, Any] | None = None
+    threat_model: dict[str, Any] | None = None
+    dataset: dict[str, Any] | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+    grid: dict[str, Any] = field(default_factory=dict)
+    points: tuple[dict[str, Any], ...] = ()
     trials: int = 1
     seed: int | None = None
     seed_mode: str = "grid"
     x_param: str | None = None
     x_from: str | None = None
-    x_values: tuple | None = None
+    x_values: tuple[float, ...] | None = None
     x_label: str | None = None
-    metadata: dict = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not isinstance(self.name, str) or not self.name:
             raise ValidationError("spec 'name' must be a non-empty string")
         check_positive_int(self.trials, "trials")
@@ -277,7 +278,7 @@ class ExperimentSpec:
         """The engine task this spec executes."""
         return self.task if self.task is not None else GENERIC_TASK
 
-    def expand_points(self) -> list[dict]:
+    def expand_points(self) -> list[dict[str, Any]]:
         """Per-point override dicts, grid expanded in insertion order."""
         if self.points:
             return [copy.deepcopy(dict(point)) for point in self.points]
@@ -291,10 +292,12 @@ class ExperimentSpec:
             ]
         return [{}]
 
-    def point_params(self, overrides: dict, *, validate: bool = True) -> dict:
+    def point_params(
+        self, overrides: dict[str, Any], *, validate: bool = True
+    ) -> dict[str, Any]:
         """Fully-merged (and, by default, validated) params for one point."""
         if self.task is None:
-            params: dict = {
+            params: dict[str, Any] = {
                 "dataset": copy.deepcopy(self.dataset),
                 "scheme": copy.deepcopy(self.scheme),
             }
@@ -313,7 +316,7 @@ class ExperimentSpec:
                 self._validate_generic_params(params)
         return params
 
-    def _check_n_records(self, params: dict) -> None:
+    def _check_n_records(self, params: dict[str, Any]) -> None:
         n_records = params.get("n_records")
         if not isinstance(n_records, int) or n_records < 2:
             raise ValidationError(
@@ -321,7 +324,7 @@ class ExperimentSpec:
                 "'params' (or swept via the grid)"
             )
 
-    def _validate_generic_params(self, params: dict) -> None:
+    def _validate_generic_params(self, params: dict[str, Any]) -> None:
         """Instantiate every component eagerly (parent-side)."""
         DATASETS.validate(params["dataset"])
         SCHEMES.validate(params["scheme"])
@@ -338,7 +341,7 @@ class ExperimentSpec:
 
             ThreatModel.from_spec(params["threat_model"])
 
-    def _overrides_touch_components(self, overrides: dict) -> bool:
+    def _overrides_touch_components(self, overrides: dict[str, Any]) -> bool:
         roots = ("dataset", "scheme", "attacks", "threat_model")
         return any(
             path.split(".", 1)[0] in roots for path in overrides
@@ -374,7 +377,7 @@ class ExperimentSpec:
                 )
         return jobs
 
-    def x_values_hint(self, points: list[dict]) -> np.ndarray | None:
+    def x_values_hint(self, points: list[dict[str, Any]]) -> np.ndarray | None:
         """X-axis values derivable without payloads (``None`` for x_from)."""
         if self.x_values is not None:
             return np.asarray(self.x_values, dtype=np.float64)
@@ -394,7 +397,7 @@ class ExperimentSpec:
     # ------------------------------------------------------------------
     # serialization
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """Plain JSON-safe dict; :meth:`from_dict` inverts it."""
         return {
             "name": self.name,
@@ -417,7 +420,7 @@ class ExperimentSpec:
         }
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "ExperimentSpec":
+    def from_dict(cls, payload: dict[str, Any]) -> "ExperimentSpec":
         """Build (and eagerly validate) a spec from a plain dict."""
         if not isinstance(payload, dict):
             raise ValidationError(
@@ -468,11 +471,11 @@ class ExperimentSpec:
         return cls.from_dict(payload)
 
     @classmethod
-    def from_file(cls, path) -> "ExperimentSpec":
+    def from_file(cls, path: str | pathlib.PurePath) -> "ExperimentSpec":
         """Load and validate a ``*.json`` spec file."""
         return cls.from_json(pathlib.Path(path).read_text())
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, ExperimentSpec):
             return NotImplemented
         return values_equal(self.to_dict(), other.to_dict())

@@ -19,6 +19,10 @@ exception and the payload carries the nan sentinel (strict JSON has no
 
 from __future__ import annotations
 
+from typing import Any
+
+import numpy as np
+
 from repro.core.pipeline import AttackPipeline
 from repro.core.threat_model import ThreatModel
 from repro.registry import ATTACKS, DATASETS, SCHEMES
@@ -27,7 +31,9 @@ from repro.utils.serialization import sanitize_for_json
 __all__ = ["attack_point"]
 
 
-def attack_point(params, rng):
+def attack_point(
+    params: dict[str, Any], rng: np.random.Generator | None
+) -> dict[str, Any]:
     """One (sweep-point, trial) of a component-driven experiment.
 
     params: ``dataset`` / ``scheme`` registry specs, ``attacks`` (label
@@ -51,7 +57,7 @@ def attack_point(params, rng):
     report = AttackPipeline(scheme, attacks).run(
         values, rng=rng, fail_fast=False
     )
-    payload = {
+    payload: dict[str, Any] = {
         "rmse": {
             label: sanitize_for_json(report.rmse(label)) for label in attacks
         }

@@ -7,6 +7,8 @@ Usage (after ``pip install -e .``)::
     repro run spec.json --json        # structured ExperimentResult JSON
     repro run spec.json --trace t.json  # record spans + run manifest
     repro trace t.json                # render a recorded trace document
+    repro check src/ --fix-hints      # determinism/parallel-safety lints
+    repro check --list-rules          # the registered rule catalog
     repro list schemes                # registered randomization schemes
     repro list attacks                # registered reconstruction attacks
     repro list datasets               # registered dataset generators
@@ -288,6 +290,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub = subparsers.add_parser(
+        "check",
+        help="static determinism & parallel-safety analysis",
+        description=(
+            "Run the AST-based rule catalog (seeded-RNG flow, pickle-"
+            "safe tasks, array-aware dataclass equality, clock-free "
+            "kernels, lock hygiene, registry spec signatures) over "
+            "source trees.  Any unsuppressed finding fails the check; "
+            "silence a deliberate violation with an inline "
+            "'# repro: ignore[rule-key] justification' comment."
+        ),
+    )
+    sub.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to scan (default: src)",
+    )
+    sub.add_argument(
+        "--rules",
+        default=None,
+        metavar="KEYS",
+        help=(
+            "comma-separated rule keys to run (default: every "
+            "registered rule; see --list-rules)"
+        ),
+    )
+    sub.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the repro-check/v1 JSON report to PATH "
+            "(stdout when the flag is given bare)"
+        ),
+    )
+    sub.add_argument(
+        "--fix-hints",
+        action="store_true",
+        help="show each fired rule's suggested fix under its findings",
+    )
+    sub.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules (key, severity, scope) and exit",
+    )
+
+    sub = subparsers.add_parser(
         "trace",
         help="inspect a recorded repro-trace/v1 document",
         description=(
@@ -392,6 +443,45 @@ def _run_spec_file(args) -> int:
     return 0
 
 
+def _run_check(args) -> int:
+    """Run the static-analysis catalog (the ``check`` subcommand)."""
+    # Imported lazily: the analysis rules are pure stdlib-AST code the
+    # experiment subcommands never need.
+    from repro.analysis import (
+        render_report,
+        render_rules,
+        report_payload,
+        run_check,
+    )
+
+    if args.list_rules:
+        print(render_rules())
+        return 0
+    rules = None
+    if args.rules is not None:
+        rules = [key.strip() for key in args.rules.split(",") if key.strip()]
+        if not rules:
+            print("error: --rules got an empty list", file=sys.stderr)
+            return 2
+    paths = args.paths or ["src"]
+    try:
+        report = run_check(paths, rules=rules)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json is not None:
+        text = json.dumps(report_payload(report), indent=2)
+        if args.json == "-":
+            print(text)
+        else:
+            pathlib.Path(args.json).write_text(text + "\n")
+            print(f"wrote report {args.json}", file=sys.stderr)
+            print(render_report(report, fix_hints=args.fix_hints))
+    else:
+        print(render_report(report, fix_hints=args.fix_hints))
+    return 0 if report.ok else 1
+
+
 def _view_trace(args) -> int:
     try:
         payload = json.loads(pathlib.Path(args.file).read_text())
@@ -422,6 +512,8 @@ def main(argv=None) -> int:
         return _run_spec_file(args)
     if args.experiment == "list":
         return _list_components(args)
+    if args.experiment == "check":
+        return _run_check(args)
     if args.experiment == "trace":
         return _view_trace(args)
     if args.experiment == "bench":

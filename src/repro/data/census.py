@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.registry import check_spec, register_dataset
 from repro.utils.rng import as_generator
+from repro.utils.serialization import values_equal
 from repro.utils.validation import check_positive_int
 
 __all__ = ["CensusLikeGenerator"]
@@ -41,7 +42,7 @@ _COLUMNS = (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class CensusTable:
     """A generated table with its schema and population moments."""
 
@@ -49,6 +50,19 @@ class CensusTable:
     column_names: tuple[str, ...]
     population_mean: np.ndarray
     population_covariance: np.ndarray
+
+    def __eq__(self, other) -> bool:
+        # Array-aware: the generated __eq__ would raise on the ndarrays.
+        if not isinstance(other, CensusTable):
+            return NotImplemented
+        return (
+            values_equal(self.values, other.values)
+            and self.column_names == other.column_names
+            and values_equal(self.population_mean, other.population_mean)
+            and values_equal(
+                self.population_covariance, other.population_covariance
+            )
+        )
 
     @property
     def n_records(self) -> int:

@@ -17,12 +17,13 @@ import numpy as np
 from repro.exceptions import SpectrumError, ValidationError
 from repro.linalg.eigen import sorted_eigh
 from repro.linalg.gram_schmidt import is_orthonormal, random_orthogonal
+from repro.utils.serialization import values_equal
 from repro.utils.validation import check_matrix, check_symmetric, check_vector
 
 __all__ = ["CovarianceModel"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class CovarianceModel:
     """A covariance matrix with its known eigenstructure.
 
@@ -56,6 +57,15 @@ class CovarianceModel:
             raise ValidationError("eigenvectors are not orthonormal")
         object.__setattr__(self, "eigenvalues", values)
         object.__setattr__(self, "eigenvectors", vectors)
+
+    def __eq__(self, other) -> bool:
+        # Array-aware: the generated __eq__ would raise on the ndarray
+        # fields (the _matrix_cache is derived state and is excluded).
+        if not isinstance(other, CovarianceModel):
+            return NotImplemented
+        return values_equal(
+            self.eigenvalues, other.eigenvalues
+        ) and values_equal(self.eigenvectors, other.eigenvectors)
 
     # ------------------------------------------------------------------
     # Constructors

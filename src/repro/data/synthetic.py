@@ -17,6 +17,7 @@ from repro.exceptions import ValidationError
 from repro.registry import check_spec, register_dataset
 from repro.stats.mvn import MultivariateNormal
 from repro.utils.rng import as_generator
+from repro.utils.serialization import values_equal
 from repro.utils.validation import check_positive_int, check_vector
 
 __all__ = [
@@ -26,7 +27,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class SyntheticDataset:
     """An original data table together with its generating model.
 
@@ -46,6 +47,16 @@ class SyntheticDataset:
     values: np.ndarray
     covariance_model: CovarianceModel
     mean: np.ndarray
+
+    def __eq__(self, other) -> bool:
+        # Array-aware: the generated __eq__ would raise on the ndarrays.
+        if not isinstance(other, SyntheticDataset):
+            return NotImplemented
+        return (
+            values_equal(self.values, other.values)
+            and self.covariance_model == other.covariance_model
+            and values_equal(self.mean, other.mean)
+        )
 
     @property
     def n_records(self) -> int:

@@ -90,7 +90,7 @@ class Engine:
         executor: Executor | None = None,
         cache: ResultCache | None = None,
         progress: ProgressReporter | None = None,
-    ):
+    ) -> None:
         self.executor = executor if executor is not None else SerialExecutor()
         self.cache = cache
         self.progress = progress if progress is not None else ProgressReporter()

@@ -48,7 +48,7 @@ class ResultCache:
         :func:`default_cache_dir`.
     """
 
-    def __init__(self, directory: str | os.PathLike | None = None):
+    def __init__(self, directory: str | os.PathLike[str] | None = None) -> None:
         self.directory = (
             pathlib.Path(directory).expanduser()
             if directory is not None

@@ -105,8 +105,12 @@ class Executor(abc.ABC):
 class SerialExecutor(Executor):
     """In-process, one-at-a-time execution — the reference backend."""
 
-    def run(self, specs, callback=None):
-        results = []
+    def run(
+        self,
+        specs: Sequence[JobSpec],
+        callback: Callable[[JobResult], None] | None = None,
+    ) -> list[JobResult]:
+        results: list[JobResult] = []
         traced = trace.enabled()
         for spec in specs:
             if traced:
@@ -150,7 +154,9 @@ class ParallelExecutor(Executor):
     own jobs are lost.
     """
 
-    def __init__(self, workers: int | None = None, chunk_size: int | None = None):
+    def __init__(
+        self, workers: int | None = None, chunk_size: int | None = None
+    ) -> None:
         if workers is None or workers == 0:
             workers = default_worker_count()
         if not isinstance(workers, int) or workers < 1:
@@ -172,7 +178,11 @@ class ParallelExecutor(Executor):
             return self.chunk_size
         return max(1, min(16, -(-n_jobs // (4 * self.workers))))
 
-    def run(self, specs, callback=None):
+    def run(
+        self,
+        specs: Sequence[JobSpec],
+        callback: Callable[[JobResult], None] | None = None,
+    ) -> list[JobResult]:
         specs = list(specs)
         if not specs:
             return []

@@ -36,6 +36,7 @@ import importlib
 import json
 import time
 from dataclasses import dataclass, field
+from typing import Any, Callable
 
 import numpy as np
 
@@ -44,6 +45,7 @@ from repro.exceptions import JobExecutionError, ValidationError
 
 __all__ = [
     "CACHE_VERSION",
+    "TaskFunction",
     "JobSpec",
     "JobResult",
     "derive_rng",
@@ -58,8 +60,14 @@ __all__ = [
 #: pipeline internals locally.
 CACHE_VERSION = 1
 
+#: Signature every engine task implements: ``task(params, rng) -> payload``.
+#: ``rng`` is ``None`` for self-seeding tasks (``seed_root=None`` specs).
+TaskFunction = Callable[
+    [dict[str, Any], "np.random.Generator | None"], dict[str, Any]
+]
 
-def _canonical_json(payload) -> str:
+
+def _canonical_json(payload: Any) -> str:
     """Deterministic JSON used for hashing; rejects non-JSON values."""
     try:
         return json.dumps(
@@ -92,11 +100,11 @@ class JobSpec:
     """
 
     task: str
-    params: dict = field(default_factory=dict)
+    params: dict[str, Any] = field(default_factory=dict)
     seed_root: int | None = None
     seed_path: tuple[int, ...] = ()
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not isinstance(self.task, str) or self.task.count(":") != 1:
             raise ValidationError(
                 "task must be a 'package.module:function' string, got "
@@ -161,10 +169,10 @@ class JobResult:
     """
 
     key: str
-    values: dict
+    values: dict[str, Any]
     duration: float
     cached: bool = False
-    trace: dict | None = None
+    trace: dict[str, Any] | None = None
 
 
 def derive_rng(spec: JobSpec) -> np.random.Generator | None:
@@ -182,7 +190,7 @@ def derive_rng(spec: JobSpec) -> np.random.Generator | None:
     return np.random.default_rng(sequence)
 
 
-def resolve_task(task: str):
+def resolve_task(task: str) -> TaskFunction:
     """Import and return the callable a task string names."""
     module_name, _, attribute = task.partition(":")
     try:
@@ -204,7 +212,9 @@ def execute_job(spec: JobSpec) -> JobResult:
     """
     function = resolve_task(spec.task)
     rng = derive_rng(spec)
-    start = time.perf_counter()
+    # The two clock reads below measure JobResult.duration only; the
+    # value never reaches the payload or JobSpec.key().
+    start = time.perf_counter()  # repro: ignore[wall-clock] duration metric
     try:
         values = function(spec.params, rng)
     except Exception as exc:
@@ -212,7 +222,7 @@ def execute_job(spec: JobSpec) -> JobResult:
             f"job {spec.key()[:12]} ({spec.task}, seed_path="
             f"{spec.seed_path}) failed: {type(exc).__name__}: {exc}"
         ) from exc
-    duration = time.perf_counter() - start
+    duration = time.perf_counter() - start  # repro: ignore[wall-clock] duration metric
     if not isinstance(values, dict):
         raise JobExecutionError(
             f"task {spec.task} returned {type(values).__name__}, "

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import sys
 import time
+from typing import Any, TextIO
 
 from repro.engine.jobs import JobResult
 
@@ -43,7 +44,9 @@ class ThroughputReporter(ProgressReporter):
         report.
     """
 
-    def __init__(self, stream=None, min_interval: float = 0.5):
+    def __init__(
+        self, stream: TextIO | None = None, min_interval: float = 0.5
+    ) -> None:
         self.stream = stream if stream is not None else sys.stderr
         self.min_interval = float(min_interval)
         self._started_at = 0.0
@@ -99,9 +102,9 @@ class TraceReporter(ProgressReporter):
         :class:`ThroughputReporter`), or ``None``.
     """
 
-    def __init__(self, inner: ProgressReporter | None = None):
+    def __init__(self, inner: ProgressReporter | None = None) -> None:
         self.inner = inner
-        self.rows: list[dict] = []
+        self.rows: list[dict[str, Any]] = []
         self.total = 0
         self.elapsed: float | None = None
         self.cached = 0

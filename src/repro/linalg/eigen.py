@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.utils.serialization import values_equal
 from repro.utils.validation import check_symmetric, check_vector
 
 __all__ = [
@@ -24,7 +25,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class EigenDecomposition:
     """Eigendecomposition of a symmetric matrix, sorted descending.
 
@@ -39,6 +40,15 @@ class EigenDecomposition:
 
     values: np.ndarray
     vectors: np.ndarray
+
+    def __eq__(self, other) -> bool:
+        # The generated dataclass __eq__ would raise the ambiguous-truth
+        # ValueError on the array fields.
+        if not isinstance(other, EigenDecomposition):
+            return NotImplemented
+        return values_equal(self.values, other.values) and values_equal(
+            self.vectors, other.vectors
+        )
 
     @property
     def dim(self) -> int:

@@ -111,5 +111,7 @@ def random_orthogonal(dim: int, rng=None) -> np.ndarray:
         break
     # Sign correction: make the diagonal of R (= Q^T G) positive.
     signs = np.sign(np.einsum("ij,ij->j", q, gaussian))
-    signs[signs == 0.0] = 1.0
+    # np.sign returns exactly 0.0 for a zero projection; this replaces
+    # that exact sentinel, not an approximate value.
+    signs[signs == 0.0] = 1.0  # repro: ignore[float-eq] exact sign sentinel
     return q * signs

@@ -88,7 +88,9 @@ class WarnerRandomizedResponse:
         like_zero = 1.0 - self._theta if response == 1 else self._theta
         numerator = like_one * pi
         denominator = numerator + like_zero * (1.0 - pi)
-        if denominator == 0.0:
+        # Exact degenerate guard: the division below is safe for every
+        # non-zero denominator, however small.
+        if denominator == 0.0:  # repro: ignore[float-eq] degenerate guard
             raise ValidationError(
                 "prior and scheme give the observed response zero probability"
             )

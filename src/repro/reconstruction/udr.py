@@ -194,7 +194,9 @@ class UnivariateReconstructor(Reconstructor):
         noise_var = noise.variance
         prior_var = max(var_y - noise_var, 0.0)
         prior_mean = mean_y - noise.mean
-        if prior_var == 0.0:
+        # Exact guard: prior_var is max(..., 0.0), so 0.0 is a computed
+        # sentinel, not an approximate quantity.
+        if prior_var == 0.0:  # repro: ignore[float-eq] degenerate guard
             # The attribute is pure noise as far as moments can tell:
             # every posterior mean collapses to the prior mean.
             return np.full_like(column, prior_mean)

@@ -27,6 +27,7 @@ bare ``import repro.registry`` still sees the full catalog.
 from __future__ import annotations
 
 import importlib
+from typing import Any, Callable, Iterable
 
 from repro.exceptions import ValidationError
 
@@ -43,7 +44,13 @@ __all__ = [
 ]
 
 
-def check_spec(spec, kind: str, *, required=(), optional=()) -> dict:
+def check_spec(
+    spec: Any,
+    kind: str,
+    *,
+    required: Iterable[str] = (),
+    optional: Iterable[str] = (),
+) -> dict[str, Any]:
     """Validate a component spec dict eagerly and return it.
 
     Checks that ``spec`` is a dict whose ``"kind"`` matches, that every
@@ -86,10 +93,10 @@ class Registry:
         they define (and register) are guaranteed to be present.
     """
 
-    def __init__(self, label: str, modules: tuple[str, ...] = ()):
+    def __init__(self, label: str, modules: tuple[str, ...] = ()) -> None:
         self.label = label
         self._modules = modules
-        self._entries: dict[str, type] = {}
+        self._entries: dict[str, type[Any]] = {}
         self._loaded = False
 
     def _ensure_loaded(self) -> None:
@@ -101,12 +108,12 @@ class Registry:
         # surface again on the next call, not leave a partial catalog.
         self._loaded = True
 
-    def register(self, key: str):
+    def register(self, key: str) -> Callable[[type[Any]], type[Any]]:
         """Class decorator adding the class under ``key``."""
         if not isinstance(key, str) or not key:
             raise ValidationError(f"registry key must be a non-empty string, got {key!r}")
 
-        def decorate(cls):
+        def decorate(cls: type[Any]) -> type[Any]:
             existing = self._entries.get(key)
             if existing is not None and existing is not cls:
                 raise ValidationError(
@@ -130,7 +137,7 @@ class Registry:
         self._ensure_loaded()
         return sorted(self._entries)
 
-    def get(self, key: str) -> type:
+    def get(self, key: str) -> type[Any]:
         """The class registered under ``key``."""
         self._ensure_loaded()
         try:
@@ -144,7 +151,7 @@ class Registry:
         self._ensure_loaded()
         return key in self._entries
 
-    def create(self, spec: dict):
+    def create(self, spec: dict[str, Any]) -> Any:
         """Instantiate the component a spec dict describes."""
         if not isinstance(spec, dict):
             raise ValidationError(
@@ -158,7 +165,7 @@ class Registry:
             )
         return self.get(kind).from_spec(spec)
 
-    def validate(self, spec: dict) -> dict:
+    def validate(self, spec: dict[str, Any]) -> dict[str, Any]:
         """Build (and discard) the component, surfacing errors eagerly."""
         self.create(spec)
         return spec
@@ -168,7 +175,7 @@ class Registry:
         return f"Registry({self.label!r}, {self.names()})"
 
 
-def component_to_spec(component) -> dict:
+def component_to_spec(component: Any) -> dict[str, Any]:
     """A registered component instance's spec dict (convenience)."""
     to_spec = getattr(component, "to_spec", None)
     if not callable(to_spec):

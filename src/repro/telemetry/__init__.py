@@ -31,7 +31,9 @@ Typical use::
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+from typing import Any
 
 from repro.telemetry import trace
 from repro.telemetry.manifest import (
@@ -65,7 +67,9 @@ __all__ = [
 ]
 
 
-def write_trace(document: dict, path) -> pathlib.Path:
+def write_trace(
+    document: dict[str, Any], path: str | os.PathLike[str]
+) -> pathlib.Path:
     """Validate ``document`` and write it to ``path`` as strict JSON.
 
     Validation-on-write means every file this function produces is a

@@ -20,6 +20,7 @@ import os
 import platform
 import subprocess
 import sys
+from typing import Any
 
 from repro.exceptions import ValidationError
 
@@ -36,7 +37,7 @@ __all__ = [
 MANIFEST_KIND = "repro-manifest/v1"
 
 
-def spec_fingerprint(spec) -> str:
+def spec_fingerprint(spec: Any) -> str:
     """SHA-256 of the spec's canonical JSON form.
 
     Two specs share a fingerprint iff their :meth:`to_dict` payloads are
@@ -57,7 +58,7 @@ def spec_fingerprint(spec) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-def git_revision(cwd=None) -> str | None:
+def git_revision(cwd: str | None = None) -> str | None:
     """The checkout's ``HEAD`` commit, or ``None`` outside a repository."""
     try:
         completed = subprocess.run(
@@ -75,7 +76,7 @@ def git_revision(cwd=None) -> str | None:
     return revision or None
 
 
-def platform_info() -> dict:
+def platform_info() -> dict[str, Any]:
     """Host facts that contextualize timings."""
     try:
         cpus = len(os.sched_getaffinity(0))
@@ -90,7 +91,7 @@ def platform_info() -> dict:
     }
 
 
-def package_versions() -> dict:
+def package_versions() -> dict[str, str]:
     """Versions of the packages whose numerics shape the results."""
     # Deferred import: instrumented modules (stats, engine) import the
     # telemetry package, so pulling ``repro`` in at module scope would
@@ -111,10 +112,10 @@ def package_versions() -> dict:
 
 def build_manifest(
     *,
-    spec=None,
-    rows=None,
-    extra: dict | None = None,
-) -> dict:
+    spec: Any = None,
+    rows: Any = None,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
     """Assemble a run manifest.
 
     Parameters
@@ -137,7 +138,7 @@ def build_manifest(
         A JSON-serializable manifest; deterministic for a fixed spec
         and checkout except for the joined timing columns.
     """
-    manifest: dict = {
+    manifest: dict[str, Any] = {
         "kind": MANIFEST_KIND,
         "git_revision": git_revision(),
         "platform": platform_info(),
@@ -154,12 +155,12 @@ def build_manifest(
             "seed": spec.seed,
             "seed_mode": spec.seed_mode,
         }
-        timing_by_key: dict[str, dict] = {}
+        timing_by_key: dict[str, dict[str, Any]] = {}
         for row in rows or ():
             timing_by_key[row["key"]] = row
-        table = []
+        table: list[dict[str, Any]] = []
         for job in jobs:
-            entry: dict = {
+            entry: dict[str, Any] = {
                 "key": job.key(),
                 "task": job.task,
                 "seed_root": job.seed_root,

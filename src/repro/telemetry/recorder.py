@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import threading
 import time
+from typing import Any
 
 from repro.exceptions import ValidationError
 from repro.telemetry.schema import TRACE_SCHEMA
@@ -31,7 +32,7 @@ class Recorder:
     thread with an empty stack becomes an additional root.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._lock = threading.Lock()
         self._local = threading.local()
         self.roots: list[Span] = []
@@ -53,7 +54,9 @@ class Recorder:
         stack = self._stack()
         return stack[-1] if stack else None
 
-    def begin_span(self, name: str, attrs: dict | None = None) -> Span:
+    def begin_span(
+        self, name: str, attrs: dict[str, Any] | None = None
+    ) -> Span:
         """Open a span nested under the calling thread's current span."""
         span = Span(name, attrs).begin()
         stack = self._stack()
@@ -76,7 +79,7 @@ class Recorder:
         stack.pop()
         return span.finish()
 
-    def adopt(self, fragment: dict) -> Span:
+    def adopt(self, fragment: dict[str, Any]) -> Span:
         """Graft a serialized trace fragment under the current span.
 
         ``fragment`` is :meth:`export_fragment` output shipped from
@@ -118,7 +121,7 @@ class Recorder:
     # ------------------------------------------------------------------
     # serialization
 
-    def export_fragment(self) -> dict:
+    def export_fragment(self) -> dict[str, Any]:
         """A picklable/JSON-safe fragment for cross-process adoption.
 
         Returns the single root span when there is exactly one, or a
@@ -139,7 +142,9 @@ class Recorder:
             root.children.extend(roots)
         return {"span": root.to_dict(), "counters": dict(self.counters)}
 
-    def to_document(self, *, manifest: dict | None = None) -> dict:
+    def to_document(
+        self, *, manifest: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
         """The full ``repro-trace/v1`` document for this recorder."""
         with self._lock:
             spans = [root.to_dict() for root in self.roots]

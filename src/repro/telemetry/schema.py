@@ -21,6 +21,7 @@ once instead of one field per run.
 from __future__ import annotations
 
 import numbers
+from typing import Any
 
 from repro.exceptions import ValidationError
 
@@ -35,11 +36,13 @@ TRACE_SCHEMA = "repro-trace/v1"
 _SPAN_FIELDS = {"name", "start_unix", "duration", "attrs", "children"}
 
 
-def _is_number(value) -> bool:
+def _is_number(value: Any) -> bool:
     return isinstance(value, numbers.Real) and not isinstance(value, bool)
 
 
-def _check_span(span, path: str, problems: list[str], depth: int = 0) -> None:
+def _check_span(
+    span: Any, path: str, problems: list[str], depth: int = 0
+) -> None:
     if depth > 64:
         problems.append(f"{path}: span tree deeper than 64 levels")
         return
@@ -71,7 +74,9 @@ def _check_span(span, path: str, problems: list[str], depth: int = 0) -> None:
         _check_span(child, f"{path}.children[{index}]", problems, depth + 1)
 
 
-def _check_metrics(payload, key: str, problems: list[str]) -> None:
+def _check_metrics(
+    payload: dict[str, Any], key: str, problems: list[str]
+) -> None:
     metrics = payload.get(key)
     if not isinstance(metrics, dict):
         problems.append(f"'{key}' must be a dict")
@@ -83,7 +88,7 @@ def _check_metrics(payload, key: str, problems: list[str]) -> None:
             problems.append(f"{key}[{name!r}]: value must be a number")
 
 
-def _check_manifest(manifest, problems: list[str]) -> None:
+def _check_manifest(manifest: Any, problems: list[str]) -> None:
     if manifest is None:
         return
     if not isinstance(manifest, dict):
@@ -108,7 +113,7 @@ def _check_manifest(manifest, problems: list[str]) -> None:
             problems.append(f"{path}: 'cached' must be a bool")
 
 
-def validate_trace(payload) -> dict:
+def validate_trace(payload: Any) -> dict[str, Any]:
     """Structurally validate a ``repro-trace/v1`` document.
 
     Parameters

@@ -12,7 +12,7 @@ ship its subtree back to the parent recorder inside a pickled
 from __future__ import annotations
 
 import time
-from typing import Iterator
+from typing import Any, Iterator
 
 from repro.exceptions import ValidationError
 from repro.utils.serialization import sanitize_for_json
@@ -46,11 +46,11 @@ class Span:
     def __init__(
         self,
         name: str,
-        attrs: dict | None = None,
+        attrs: dict[str, Any] | None = None,
         *,
         start_unix: float | None = None,
         duration: float = 0.0,
-    ):
+    ) -> None:
         if not isinstance(name, str) or not name:
             raise ValidationError(
                 f"span name must be a non-empty string, got {name!r}"
@@ -60,7 +60,7 @@ class Span:
             time.time() if start_unix is None else float(start_unix)
         )
         self.duration = float(duration)
-        self.attrs: dict = dict(attrs or {})
+        self.attrs: dict[str, Any] = dict(attrs or {})
         self.children: list[Span] = []
         self._start_perf: float | None = None
 
@@ -80,7 +80,7 @@ class Span:
             self._start_perf = None
         return self
 
-    def set(self, **attrs) -> "Span":
+    def set(self, **attrs: Any) -> "Span":
         """Merge attributes into the span (chainable)."""
         self.attrs.update(attrs)
         return self
@@ -108,7 +108,7 @@ class Span:
     # ------------------------------------------------------------------
     # serialization
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """Strict-JSON encoding (nan-safe attrs); inverted by :meth:`from_dict`."""
         return {
             "name": self.name,
@@ -119,7 +119,7 @@ class Span:
         }
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "Span":
+    def from_dict(cls, payload: dict[str, Any]) -> "Span":
         """Rebuild a span tree from :meth:`to_dict` output."""
         if not isinstance(payload, dict):
             raise ValidationError(

@@ -21,6 +21,8 @@ cost nothing measurable when tracing is off (pinned by the
 from __future__ import annotations
 
 import contextlib
+from types import TracebackType
+from typing import Any, Iterator
 
 from repro.telemetry.recorder import Recorder
 from repro.telemetry.spans import Span
@@ -46,14 +48,19 @@ class _NullSpan:
 
     __slots__ = ()
 
-    def set(self, **attrs) -> "_NullSpan":
+    def set(self, **attrs: Any) -> "_NullSpan":
         """Ignore attributes (tracing is disabled)."""
         return self
 
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         return False
 
 
@@ -67,7 +74,9 @@ class _SpanContext:
 
     __slots__ = ("_recorder", "_name", "_attrs", "_span")
 
-    def __init__(self, recorder: Recorder, name: str, attrs: dict):
+    def __init__(
+        self, recorder: Recorder, name: str, attrs: dict[str, Any]
+    ) -> None:
         self._recorder = recorder
         self._name = name
         self._attrs = attrs
@@ -77,10 +86,16 @@ class _SpanContext:
         self._span = self._recorder.begin_span(self._name, self._attrs)
         return self._span
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
-        if exc_type is not None:
-            self._span.attrs.setdefault("error", exc_type.__name__)
-        self._recorder.end_span(self._span)
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
+        if self._span is not None:
+            if exc_type is not None:
+                self._span.attrs.setdefault("error", exc_type.__name__)
+            self._recorder.end_span(self._span)
         return False
 
 
@@ -95,7 +110,7 @@ def active_recorder() -> Recorder | None:
 
 
 @contextlib.contextmanager
-def recording(recorder: Recorder | None = None):
+def recording(recorder: Recorder | None = None) -> Iterator[Recorder]:
     """Activate a recorder for the duration of the ``with`` block.
 
     Parameters
@@ -121,7 +136,7 @@ def recording(recorder: Recorder | None = None):
 
 
 @contextlib.contextmanager
-def disabled():
+def disabled() -> Iterator[None]:
     """Suppress tracing for the duration of the ``with`` block.
 
     The inverse of :func:`recording`: code inside the block sees
@@ -138,7 +153,7 @@ def disabled():
         _ACTIVE = previous
 
 
-def span(name: str, **attrs):
+def span(name: str, **attrs: Any) -> _SpanContext | _NullSpan:
     """A context manager timing ``name`` with ``attrs`` annotations.
 
     Returns the shared no-op singleton when tracing is disabled; the
@@ -164,7 +179,7 @@ def gauge(name: str, value: float) -> None:
         recorder.gauge(name, value)
 
 
-def adopt(fragment: dict | None) -> None:
+def adopt(fragment: dict[str, Any] | None) -> None:
     """Merge a worker-exported trace fragment (no-op when disabled)."""
     recorder = _ACTIVE
     if recorder is not None and fragment is not None:

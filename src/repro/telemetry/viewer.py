@@ -10,6 +10,7 @@ when the document carries one.
 from __future__ import annotations
 
 import time
+from typing import Any
 
 from repro.exceptions import ValidationError
 from repro.telemetry.spans import Span
@@ -39,7 +40,7 @@ def format_seconds(seconds: float) -> str:
     return f"{seconds * 1e6:.0f}us"
 
 
-def _format_attr(key: str, value) -> str:
+def _format_attr(key: str, value: Any) -> str:
     if key == "queue_wait" and isinstance(value, float):
         return f"queue_wait={format_seconds(value)}"
     if key == "task" and isinstance(value, str):
@@ -102,7 +103,7 @@ def _job_label(span: Span) -> str:
 
 
 def render_trace(
-    payload: dict,
+    payload: dict[str, Any],
     *,
     top: int = 10,
     max_depth: int | None = None,

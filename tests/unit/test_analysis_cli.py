@@ -1,0 +1,105 @@
+"""Unit tests for the ``repro check`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def dirty_tree(tmp_path):
+    """A directory with one violation and one suppressed violation."""
+    path = tmp_path / "mod.py"
+    path.write_text(
+        "def check(x):\n"
+        "    return x == 0.5\n"
+        "\n"
+        "def guard(y):\n"
+        "    return y == 0.0  # repro: ignore[float-eq] exact guard\n"
+    )
+    return tmp_path
+
+
+@pytest.fixture()
+def clean_tree(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text("def check(x):\n    return abs(x - 0.5) < 1e-12\n")
+    return tmp_path
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["check"])
+        assert args.experiment == "check"
+        assert args.paths == []
+        assert args.rules is None
+        assert args.json is None
+        assert args.fix_hints is False
+        assert args.list_rules is False
+
+    def test_json_flag_without_value_means_stdout(self):
+        args = build_parser().parse_args(["check", "src", "--json"])
+        assert args.json == "-"
+        assert args.paths == ["src"]
+
+    def test_json_flag_with_file(self):
+        args = build_parser().parse_args(["check", "--json", "out.json"])
+        assert args.json == "out.json"
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, capsys, clean_tree):
+        assert main(["check", str(clean_tree)]) == 0
+        assert "repro check: clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys, dirty_tree):
+        assert main(["check", str(dirty_tree)]) == 1
+        out = capsys.readouterr().out
+        assert "warning[float-eq]" in out
+        assert "(1 suppressed)" in out
+
+    def test_missing_path_exits_two(self, capsys, tmp_path):
+        assert main(["check", str(tmp_path / "absent")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, capsys, dirty_tree):
+        assert main(["check", str(dirty_tree), "--rules", "bogus"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_empty_rules_list_exits_two(self, capsys, dirty_tree):
+        assert main(["check", str(dirty_tree), "--rules", " , "]) == 2
+        assert "empty" in capsys.readouterr().err
+
+
+class TestOutput:
+    def test_rules_filter_limits_the_run(self, capsys, dirty_tree):
+        assert main(["check", str(dirty_tree), "--rules", "global-rng"]) == 0
+        assert "repro check: clean" in capsys.readouterr().out
+
+    def test_json_to_stdout(self, capsys, dirty_tree):
+        assert main(["check", str(dirty_tree), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "repro-check/v1"
+        assert payload["summary"]["findings"] == 1
+        assert payload["summary"]["suppressed"] == 1
+
+    def test_json_to_file_keeps_text_on_stdout(self, capsys, dirty_tree):
+        target = dirty_tree / "report.json"
+        code = main(["check", str(dirty_tree / "mod.py"), "--json", str(target)])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "warning[float-eq]" in captured.out
+        assert "wrote report" in captured.err
+        payload = json.loads(target.read_text())
+        assert payload["summary"]["ok"] is False
+
+    def test_fix_hints(self, capsys, dirty_tree):
+        assert main(["check", str(dirty_tree), "--fix-hints"]) == 1
+        assert "hint:" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for key in ("global-rng", "wall-clock", "ndarray-eq", "bare-lock"):
+            assert key in out
