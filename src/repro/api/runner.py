@@ -18,7 +18,13 @@ from typing import Any
 
 from repro.api.result import ExperimentResult
 from repro.api.spec import ExperimentSpec
-from repro.engine import Engine, ParallelExecutor, ResultCache, SerialExecutor
+from repro.engine import (
+    Engine,
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    create_backend,
+)
 from repro.engine.executor import Executor
 from repro.engine.jobs import JobSpec
 from repro.engine.progress import ProgressReporter
@@ -30,8 +36,10 @@ __all__ = ["Experiment", "build_engine", "run_spec"]
 def build_engine(
     *,
     jobs: int = 1,
+    backend: str | None = None,
     cache: ResultCache | bool | str | os.PathLike[str] | None = False,
     progress: ProgressReporter | None = None,
+    fail_fast: bool = True,
 ) -> Engine:
     """An engine from the common knobs.
 
@@ -41,6 +49,12 @@ def build_engine(
         ``1`` runs in-process; any other value selects the process-pool
         backend (``0`` = autodetect worker count).  Results are
         bit-identical either way.
+    backend:
+        Executor backend name (see :func:`repro.engine.backend_names`),
+        created via :func:`repro.engine.create_backend` with ``jobs``
+        workers.  ``None`` (default) keeps the historical mapping:
+        ``jobs == 1`` is in-process serial, anything else is the
+        pickle-transport process pool.
     cache:
         ``False``/``None`` (default) disables on-disk caching — the
         same default as ``run_spec(spec)`` with no keywords, so adding
@@ -49,9 +63,15 @@ def build_engine(
         :class:`ResultCache` selects a specific one.
     progress:
         Optional :class:`~repro.engine.progress.ProgressReporter`.
+    fail_fast:
+        ``True`` (default) raises on the first job failure; ``False``
+        drains the grid, surfacing failures as failed
+        :class:`~repro.engine.jobs.JobResult` objects.
     """
     executor: Executor
-    if jobs == 1:
+    if backend is not None:
+        executor = create_backend(backend, workers=jobs)
+    elif jobs == 1:
         executor = SerialExecutor()
     else:
         executor = ParallelExecutor(workers=jobs)
@@ -63,7 +83,12 @@ def build_engine(
         result_cache = cache
     else:
         result_cache = ResultCache(cache)
-    return Engine(executor=executor, cache=result_cache, progress=progress)
+    return Engine(
+        executor=executor,
+        cache=result_cache,
+        progress=progress,
+        fail_fast=fail_fast,
+    )
 
 
 def _coerce_spec(spec: Any) -> ExperimentSpec:
@@ -93,8 +118,10 @@ def run_spec(
         A preconfigured engine; mutually exclusive with the keyword
         shortcuts below.
     engine_kwargs:
-        ``jobs`` / ``cache`` / ``progress`` forwarded to
-        :func:`build_engine` when no engine is given.
+        ``jobs`` / ``backend`` / ``cache`` / ``progress`` / ``fail_fast``
+        forwarded to :func:`build_engine` when no engine is given.  A
+        spec's own ``backend`` field acts as the default for
+        ``backend``; an explicit keyword overrides it.
     """
     if engine is not None and engine_kwargs:
         raise ValidationError(
@@ -102,6 +129,8 @@ def run_spec(
         )
     experiment_spec = _coerce_spec(spec)
     if engine is None:
+        if experiment_spec.backend is not None:
+            engine_kwargs.setdefault("backend", experiment_spec.backend)
         engine = build_engine(**engine_kwargs) if engine_kwargs else Engine()
     results = engine.run(experiment_spec.compile_jobs())
     return ExperimentResult.from_job_results(experiment_spec, results)

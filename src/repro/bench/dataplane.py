@@ -1,0 +1,227 @@
+"""Data-plane benchmarks: backend axis, shard pipeline, scaling curve.
+
+Two families:
+
+* ``pipeline.dataplane.{smoke,large}`` time the shard pipeline — a
+  dataset published once to a :class:`~repro.engine.dataplane.DataPlane`
+  and attacked shard-by-shard through the shared-memory backend.  The
+  ``large`` variant runs the acceptance-scale regime (``n_records =
+  10^7``, a ~300 MB segment).
+* ``pipeline.dataplane.scaling.{smoke,large}`` sweep the same workload
+  across the backend axis (serial reference, pickle-transport pool,
+  shared-memory pool) and a worker-count curve, recording wall-clock
+  seconds and the peak worker RSS per configuration as structured
+  ``extra`` payload (``record_extra=True``) — the machine-readable
+  scaling curve ``repro bench --json`` ships to CI.
+
+The probe task self-reports ``ru_maxrss`` from inside each worker, so
+the RSS column reflects what the *transport* made resident: the pickle
+pool materializes a private copy of the published array per chunk, while
+shared-memory workers only fault in the shard pages they touch.
+"""
+
+from __future__ import annotations
+
+import resource
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.bench.registry import register_benchmark
+
+__all__ = []  # everything here registers via side effect
+
+#: Scheme and attack battery shared by every data-plane case; additive
+#: noise plus the spectral-filtering attack keeps per-shard cost linear
+#: in rows so timings isolate transport, not attack math.
+_SCHEME = {"kind": "additive", "std": 2.0}
+_ATTACKS = {"SF": {"kind": "sf"}}
+
+
+def shard_probe(
+    params: dict[str, Any], rng: np.random.Generator | None
+) -> dict[str, Any]:
+    """Bench-only worker task: :func:`attack_shard` plus a memory probe.
+
+    The ``max_rss_kb`` reading makes the payload non-deterministic, so
+    this task is never cached — the bench harness always runs with the
+    cache disabled — and it is *not* part of the cross-backend parity
+    surface (``attack_shard`` itself is).
+    """
+    from repro.api.tasks import attack_shard
+
+    payload = attack_shard(params, rng)
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    payload["max_rss_kb"] = int(usage.ru_maxrss)
+    return payload
+
+
+def _publish_dataset(n_records: int, n_features: int = 4):
+    """A plane holding one deterministic dataset, plus its ref."""
+    from repro.engine import DataPlane
+
+    rng = np.random.default_rng(20050608)
+    data = rng.normal(size=(n_records, n_features))
+    plane = DataPlane()
+    ref = plane.publish(data)
+    return plane, ref
+
+
+def _shard_specs(ref, n_shards: int, task: str):
+    """One job per contiguous shard, engine-seeded per shard index."""
+    from repro.engine import JobSpec
+
+    rows = ref.shape[0]
+    bounds = np.linspace(0, rows, n_shards + 1, dtype=int)
+    return [
+        JobSpec(
+            task=task,
+            params={
+                "data": ref.shard(int(start), int(stop)).to_param(),
+                "scheme": _SCHEME,
+                "attacks": _ATTACKS,
+            },
+            seed_root=2005,
+            seed_path=(index,),
+        )
+        for index, (start, stop) in enumerate(
+            zip(bounds[:-1], bounds[1:])
+        )
+    ]
+
+
+def _run_backend(plane, specs, backend: str, workers: int):
+    """Execute the shard grid on one backend; returns the results."""
+    from repro.engine import create_backend
+    from repro.engine.dataplane import activate
+
+    executor = create_backend(backend, workers=workers, chunk_size=1)
+    with activate(plane):
+        return executor.run(specs)
+
+
+def _dataplane_setup(n_records: int, n_shards: int, workers: int):
+    plane, ref = _publish_dataset(n_records)
+    specs = _shard_specs(ref, n_shards, "repro.api.tasks:attack_shard")
+
+    def run():
+        return _run_backend(plane, specs, "shared-memory", workers)
+
+    return run
+
+
+def _scaling_setup(n_records: int, n_shards: int, curve):
+    """Workload measuring every (backend, workers) point in ``curve``.
+
+    Returns the structured scaling curve the runner records as the
+    entry's ``extra`` field.  Peak RSS is the maximum worker
+    self-report; the serial point reports this process instead, which
+    is the honest in-process number.
+    """
+    plane, ref = _publish_dataset(n_records)
+    specs = _shard_specs(ref, n_shards, "repro.bench.dataplane:shard_probe")
+
+    def run() -> dict[str, Any]:
+        points = []
+        for backend, workers in curve:
+            started = time.perf_counter()
+            results = _run_backend(plane, specs, backend, workers)
+            seconds = time.perf_counter() - started
+            peak_rss = max(
+                int(result.values.get("max_rss_kb", 0))
+                for result in results
+            )
+            points.append(
+                {
+                    "backend": backend,
+                    "workers": workers,
+                    "seconds": seconds,
+                    "peak_worker_rss_kb": peak_rss,
+                }
+            )
+        return {
+            "schema": "repro-dataplane-scaling/v1",
+            "n_records": ref.shape[0],
+            "n_shards": len(specs),
+            "array_bytes": ref.nbytes,
+            "curve": points,
+        }
+
+    return run
+
+
+_SMOKE_CURVE = (
+    ("serial", 1),
+    ("parallel", 1),
+    ("parallel", 2),
+    ("shared-memory", 1),
+    ("shared-memory", 2),
+)
+
+_LARGE_CURVE = (
+    ("serial", 1),
+    ("parallel", 1),
+    ("parallel", 2),
+    ("parallel", 4),
+    ("shared-memory", 1),
+    ("shared-memory", 2),
+    ("shared-memory", 4),
+)
+
+
+@register_benchmark(
+    "pipeline.dataplane.smoke",
+    group="pipeline",
+    tags=("smoke", "dataplane"),
+    params={"n_records": 50_000, "n_shards": 4, "workers": 2},
+)
+def _dataplane_smoke():
+    return _dataplane_setup(n_records=50_000, n_shards=4, workers=2)
+
+
+@register_benchmark(
+    "pipeline.dataplane.large",
+    group="pipeline",
+    tags=("large", "dataplane"),
+    params={"n_records": 10_000_000, "n_shards": 8, "workers": 4},
+    repeat=1,
+)
+def _dataplane_large():
+    return _dataplane_setup(n_records=10_000_000, n_shards=8, workers=4)
+
+
+@register_benchmark(
+    "pipeline.dataplane.scaling.smoke",
+    group="pipeline",
+    tags=("smoke", "dataplane", "scaling"),
+    params={
+        "n_records": 50_000,
+        "n_shards": 4,
+        "curve": [list(point) for point in _SMOKE_CURVE],
+    },
+    repeat=1,
+    record_extra=True,
+)
+def _dataplane_scaling_smoke():
+    return _scaling_setup(
+        n_records=50_000, n_shards=4, curve=_SMOKE_CURVE
+    )
+
+
+@register_benchmark(
+    "pipeline.dataplane.scaling.large",
+    group="pipeline",
+    tags=("large", "dataplane", "scaling"),
+    params={
+        "n_records": 10_000_000,
+        "n_shards": 8,
+        "curve": [list(point) for point in _LARGE_CURVE],
+    },
+    repeat=1,
+    record_extra=True,
+)
+def _dataplane_scaling_large():
+    return _scaling_setup(
+        n_records=10_000_000, n_shards=8, curve=_LARGE_CURVE
+    )

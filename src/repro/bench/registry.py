@@ -52,6 +52,12 @@ class BenchmarkCase:
         Per-case override of the runner's repeat count; ``None`` defers
         to the runner.  Long ``large`` cases set this to keep the full
         suite's wall-clock sane.
+    record_extra:
+        When ``True`` the workload's return value from the final timed
+        run — a JSON-safe dict — is stored as the payload entry's
+        ``extra`` field.  Scaling benchmarks use it to ship structured
+        measurements (per-backend curves, peak RSS) alongside the
+        headline timing.
     """
 
     name: str
@@ -60,6 +66,7 @@ class BenchmarkCase:
     tags: tuple[str, ...] = ()
     params: dict = field(default_factory=dict)
     repeat: int | None = None
+    record_extra: bool = False
 
     def matches(self, token: str) -> bool:
         """True when ``token`` is a substring of the name or an exact tag."""
@@ -73,6 +80,7 @@ def register_benchmark(
     tags: Iterable[str] = (),
     params: dict | None = None,
     repeat: int | None = None,
+    record_extra: bool = False,
 ):
     """Decorator registering ``setup`` as a benchmark case.
 
@@ -90,6 +98,9 @@ def register_benchmark(
         Workload-size metadata stored with every timing.
     repeat:
         Optional per-case repeat override (see :class:`BenchmarkCase`).
+    record_extra:
+        Record the final run's dict return value as the entry's
+        ``extra`` field (see :class:`BenchmarkCase`).
     """
     tag_tuple = tuple(tags)
 
@@ -103,6 +114,7 @@ def register_benchmark(
             tags=tag_tuple,
             params=dict(params or {}),
             repeat=repeat,
+            record_extra=record_extra,
         )
         return setup
 

@@ -90,12 +90,13 @@ def time_case(case: BenchmarkCase, *, repeat: int = 3) -> dict:
     with trace.span("bench.case", case=case.name, runs=runs) as span:
         workload()  # warmup: first-call costs (imports, allocator) are not the routine
         timings = []
+        returned: object = None
         for _ in range(runs):
             started = time.perf_counter()
-            workload()
+            returned = workload()
             timings.append(time.perf_counter() - started)
         span.set(seconds_min=min(timings))
-    return {
+    entry = {
         "group": case.group,
         "tags": list(case.tags),
         "params": case.params,
@@ -103,6 +104,15 @@ def time_case(case: BenchmarkCase, *, repeat: int = 3) -> dict:
         "seconds_min": min(timings),
         "seconds_mean": sum(timings) / len(timings),
     }
+    if case.record_extra:
+        if not isinstance(returned, dict):
+            raise ValidationError(
+                f"benchmark {case.name!r} sets record_extra but its "
+                f"workload returned {type(returned).__name__}, expected "
+                "a JSON-safe dict"
+            )
+        entry["extra"] = returned
+    return entry
 
 
 def run_benchmarks(
@@ -300,7 +310,8 @@ def render_comparison(comparison: dict) -> str:
 
 def main_bench(args) -> int:
     """Entry point for the ``repro bench`` subcommand."""
-    import repro.bench.hotpaths  # noqa: F401  (registration side effects)
+    import repro.bench.dataplane  # noqa: F401  (registration side effects)
+    import repro.bench.hotpaths  # noqa: F401
     import repro.bench.pipelines  # noqa: F401
     import repro.bench.telemetry  # noqa: F401
 

@@ -49,6 +49,8 @@ from repro.engine import (
     SerialExecutor,
     ThroughputReporter,
     TraceReporter,
+    backend_names,
+    create_backend,
 )
 from repro.exceptions import ReproError
 from repro.experiments.ascii_plot import plot_series
@@ -104,6 +106,17 @@ def _add_engine_arguments(sub: argparse.ArgumentParser) -> None:
         help=(
             "worker processes (1 = in-process serial, 0 = autodetect "
             "CPU count); results are identical for any value"
+        ),
+    )
+    sub.add_argument(
+        "--backend",
+        default=None,
+        choices=backend_names(),
+        help=(
+            "executor backend for the sweep (default: serial for "
+            "--jobs 1, otherwise the pickle-transport process pool; "
+            "'shared-memory' ships large arrays as zero-copy shm "
+            "segments); results are bit-identical for every backend"
         ),
     )
     sub.add_argument(
@@ -373,7 +386,10 @@ def build_parser() -> argparse.ArgumentParser:
 def _engine_from_args(args) -> Engine:
     """Build the execution engine the selected flags describe."""
     jobs = getattr(args, "jobs", 1)
-    if jobs == 1:
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        executor = create_backend(backend, workers=jobs)
+    elif jobs == 1:
         executor = SerialExecutor()
     else:
         executor = ParallelExecutor(workers=jobs)
@@ -431,6 +447,9 @@ def _run_spec_file(args) -> int:
     except ReproError as exc:
         print(f"error: invalid spec: {exc}", file=sys.stderr)
         return 2
+    if getattr(args, "backend", None) is None and spec.backend is not None:
+        # The spec's own backend hint applies unless --backend overrides.
+        args.backend = spec.backend
     result = _execute_spec(spec, args)
     if args.json:
         print(result.to_json(indent=2))

@@ -24,11 +24,20 @@ from __future__ import annotations
 import time
 from typing import Sequence
 
+from repro.engine.backends import (
+    BACKENDS,
+    backend_names,
+    create_backend,
+    register_backend,
+)
 from repro.engine.cache import ResultCache, default_cache_dir
+from repro.engine.dataplane import ArrayRef, DataPlane
 from repro.engine.executor import (
     Executor,
+    ExecutorBackend,
     ParallelExecutor,
     SerialExecutor,
+    SharedMemoryExecutor,
     default_worker_count,
 )
 from repro.engine.jobs import (
@@ -37,6 +46,7 @@ from repro.engine.jobs import (
     JobSpec,
     derive_rng,
     execute_job,
+    failed_result,
     resolve_task,
 )
 from repro.engine.progress import (
@@ -44,13 +54,18 @@ from repro.engine.progress import (
     ThroughputReporter,
     TraceReporter,
 )
-from repro.exceptions import JobExecutionError
+from repro.exceptions import DataPlaneError, JobExecutionError
 from repro.telemetry import trace
 
 __all__ = [
+    "ArrayRef",
+    "BACKENDS",
     "CACHE_VERSION",
+    "DataPlane",
+    "DataPlaneError",
     "Engine",
     "Executor",
+    "ExecutorBackend",
     "JobExecutionError",
     "JobResult",
     "JobSpec",
@@ -58,12 +73,17 @@ __all__ = [
     "ProgressReporter",
     "ResultCache",
     "SerialExecutor",
+    "SharedMemoryExecutor",
     "ThroughputReporter",
     "TraceReporter",
+    "backend_names",
+    "create_backend",
     "default_cache_dir",
     "default_worker_count",
     "derive_rng",
     "execute_job",
+    "failed_result",
+    "register_backend",
     "resolve_task",
 ]
 
@@ -83,6 +103,12 @@ class Engine:
     progress:
         Optional :class:`ProgressReporter` receiving start / per-job /
         finish events (cache hits included).
+    fail_fast:
+        ``True`` (default): the first job failure raises out of
+        :meth:`run`.  ``False``: failures surface as failed
+        :class:`JobResult` objects (``result.failed``, original
+        traceback on ``result.error``) and the whole grid drains;
+        failed results are never cached.
     """
 
     def __init__(
@@ -90,10 +116,12 @@ class Engine:
         executor: Executor | None = None,
         cache: ResultCache | None = None,
         progress: ProgressReporter | None = None,
+        fail_fast: bool = True,
     ) -> None:
         self.executor = executor if executor is not None else SerialExecutor()
         self.cache = cache
         self.progress = progress if progress is not None else ProgressReporter()
+        self.fail_fast = fail_fast
 
     def run(self, specs: Sequence[JobSpec]) -> list[JobResult]:
         """Execute (or recover) every spec; results come back in spec order."""
@@ -144,14 +172,20 @@ class Engine:
                     completed += 1
                     # Persist immediately so a later job failure (or an
                     # interrupt) does not discard work already finished.
-                    if self.cache is not None:
+                    # Failed results (fail_fast=False drains) carry no
+                    # payload and must never be served from the cache.
+                    if self.cache is not None and not result.failed:
                         self.cache.put(spec_by_key[result.key], result)
                     # Spans recorded inside a worker process ride back
                     # on the result; graft them under this run's span.
                     trace.adopt(result.trace)
                     self.progress.on_result(result, completed, total)
 
-                fresh = self.executor.run(pending_specs, callback=on_done)
+                fresh = self.executor.run(
+                    pending_specs,
+                    callback=on_done,
+                    fail_fast=self.fail_fast,
+                )
                 for (index, _), result in zip(pending, fresh):
                     results[index] = result
             run_span.set(cached=cached)

@@ -1,0 +1,122 @@
+"""The executor-backend seam: name-keyed backend selection.
+
+Everything above the engine — :mod:`repro.api`, the CLI, the bench
+harness — selects an execution backend by **name** through
+:func:`create_backend`, never by constructing an executor class
+directly.  A future distributed backend (work-stealing TCP, Ray-style)
+drops in by registering a factory here; nothing above the seam changes,
+and the determinism contract (results derive from seed coordinates
+alone, so every backend is bit-identical) is the registration bar.
+
+Built-in backends::
+
+    serial         in-process reference backend (ignores workers)
+    parallel       process pool; data-plane arrays pickled per chunk
+    shared-memory  process pool; data-plane arrays as zero-copy
+                   multiprocessing.shared_memory segments
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.engine.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    SharedMemoryExecutor,
+)
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_PARALLEL_BACKEND",
+    "backend_names",
+    "create_backend",
+    "register_backend",
+]
+
+#: Factory signature: ``factory(workers, chunk_size) -> Executor``.
+BackendFactory = Callable[[int | None, int | None], Executor]
+
+#: Registered backend factories, keyed by name.
+BACKENDS: dict[str, BackendFactory] = {}
+
+#: The backend multi-worker requests (``--jobs N`` without an explicit
+#: ``--backend``) resolve to.
+DEFAULT_PARALLEL_BACKEND = "parallel"
+
+
+def register_backend(name: str, factory: BackendFactory) -> None:
+    """Register an executor factory under a backend name.
+
+    Parameters
+    ----------
+    name:
+        Selection key (used by ``--backend`` and ``ExperimentSpec.
+        backend``).
+    factory:
+        ``factory(workers, chunk_size) -> Executor``.  Must honor the
+        engine determinism contract: identical ``(seed_root,
+        seed_path)`` sharding semantics for any worker count.
+    """
+    if not isinstance(name, str) or not name:
+        raise ValidationError(
+            f"backend name must be a non-empty string, got {name!r}"
+        )
+    existing = BACKENDS.get(name)
+    if existing is not None and existing is not factory:
+        raise ValidationError(f"backend {name!r} is already registered")
+    BACKENDS[name] = factory
+
+
+def backend_names() -> list[str]:
+    """Every registered backend name, sorted."""
+    return sorted(BACKENDS)
+
+
+def create_backend(
+    name: str,
+    *,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+) -> Executor:
+    """Instantiate the backend registered under ``name``.
+
+    Parameters
+    ----------
+    name:
+        A registered backend name (see :func:`backend_names`).
+    workers:
+        Worker-process count for pool backends; ``None``/``0``
+        autodetects.  The serial backend accepts and ignores it.
+    chunk_size:
+        Per-dispatch batch size for pool backends; ``None`` auto-sizes.
+    """
+    try:
+        factory = BACKENDS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown executor backend {name!r}; registered: "
+            f"{backend_names()}"
+        ) from None
+    return factory(workers, chunk_size)
+
+
+def _make_serial(workers: int | None, chunk_size: int | None) -> Executor:
+    return SerialExecutor()
+
+
+def _make_parallel(workers: int | None, chunk_size: int | None) -> Executor:
+    return ParallelExecutor(workers=workers, chunk_size=chunk_size)
+
+
+def _make_shared_memory(
+    workers: int | None, chunk_size: int | None
+) -> Executor:
+    return SharedMemoryExecutor(workers=workers, chunk_size=chunk_size)
+
+
+register_backend("serial", _make_serial)
+register_backend("parallel", _make_parallel)
+register_backend("shared-memory", _make_shared_memory)

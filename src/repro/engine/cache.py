@@ -95,6 +95,11 @@ class ResultCache:
                 "result key does not match spec key; refusing to poison "
                 "the cache"
             )
+        if result.failed:
+            raise ValidationError(
+                "refusing to cache a failed result; a hit must be "
+                "interchangeable with a successful execution"
+            )
         path = self.path_for(result.key)
         path.parent.mkdir(parents=True, exist_ok=True)
         # The shared nan-safe encoding (sentinel strings, never bare NaN

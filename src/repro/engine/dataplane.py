@@ -1,0 +1,640 @@
+"""Shared-memory data plane: publish large arrays once, hand out views.
+
+The process-pool executor serializes every job's parameters into the
+worker — fine when parameters are a handful of scalars, fatal when a
+sweep embeds a multi-hundred-megabyte dataset in every job.  The data
+plane removes bulk data from the job payload entirely:
+
+1. The parent **publishes** an ndarray once per run
+   (:meth:`DataPlane.publish`) and gets back a small, JSON-safe
+   :class:`ArrayRef` keyed by the array's content hash.
+2. Job params carry the ref (``ref.to_param()``) — a few hundred bytes
+   regardless of array size — optionally narrowed to a row shard
+   (:meth:`ArrayRef.shard`).
+3. At execution time the ref is resolved back to an ndarray view:
+   in-process from the active plane (serial backend), from a worker's
+   per-chunk pickle payload (process-pool backend), or as a zero-copy
+   view of a ``multiprocessing.shared_memory`` segment
+   (shared-memory backend).
+
+Identity is the **content hash**, never the transport: two specs that
+reference the same data produce the same cache key whichever backend
+executes them, and a segment name never leaks into
+:meth:`repro.engine.jobs.JobSpec.key`.
+
+Cleanup contract
+----------------
+Created segments are closed *and* unlinked by the owning plane on
+success, failure, and interrupt: :meth:`DataPlane.export_segments` is
+always paired with :meth:`DataPlane.release_segments` in a
+``try``/``finally`` (the shared-memory executor does this), the plane
+itself is a context manager, and an ``atexit`` hook sweeps anything a
+crashed caller left behind.  Worker-side attachments are closed — never
+unlinked — when the worker exits.  The ``shm-lifecycle`` check rule
+(``repro check``) enforces the same discipline statically.
+
+Telemetry: the plane counts ``dataplane.segment.created`` /
+``attached`` / ``unlinked`` and gauges ``dataplane.bytes_resident``
+(bytes currently backed by segments this process created).
+"""
+
+from __future__ import annotations
+
+import atexit
+import contextlib
+import hashlib
+import os
+import threading
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Iterable, Iterator
+
+import numpy as np
+
+from repro.exceptions import DataPlaneError, ValidationError
+from repro.telemetry import trace
+
+__all__ = [
+    "REF_KEY",
+    "ArrayRef",
+    "DataPlane",
+    "active_plane",
+    "activate",
+    "resolve_params",
+    "params_ref_hashes",
+    "shard_bounds",
+]
+
+#: Marker key identifying an encoded :class:`ArrayRef` inside job params.
+REF_KEY = "__array_ref__"
+
+#: Prefix of every shared-memory segment the data plane creates; the
+#: fault-injection suite scans ``/dev/shm`` for leaked names with it.
+SEGMENT_PREFIX = "repro-dp-"
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """Content-addressed reference to a published array (or a row shard).
+
+    Attributes
+    ----------
+    hash:
+        SHA-256 over the array's dtype, shape, and raw bytes — the
+        *only* identity that reaches job specs and cache keys.
+    shape:
+        Shape of the full published array.
+    dtype:
+        Dtype string (``numpy.dtype.str``, endianness included).
+    start / stop:
+        Optional row-shard bounds on axis 0; ``None`` means the whole
+        array.  Resolution slices the published array, which is a
+        zero-copy view for the in-process and shared-memory transports.
+    """
+
+    hash: str
+    shape: tuple[int, ...]
+    dtype: str
+    start: int | None = None
+    stop: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.start is not None or self.stop is not None:
+            n_rows = self.shape[0] if self.shape else 0
+            start, stop = shard_bounds(
+                n_rows,
+                0 if self.start is None else self.start,
+                n_rows if self.stop is None else self.stop,
+            )
+            object.__setattr__(self, "start", start)
+            object.__setattr__(self, "stop", stop)
+
+    def shard(self, start: int, stop: int) -> "ArrayRef":
+        """A ref to rows ``[start, stop)`` of the published array."""
+        n_rows = self.shape[0] if self.shape else 0
+        start, stop = shard_bounds(n_rows, start, stop)
+        return ArrayRef(
+            hash=self.hash,
+            shape=self.shape,
+            dtype=self.dtype,
+            start=start,
+            stop=stop,
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the *full* published array this ref points into."""
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count * np.dtype(self.dtype).itemsize
+
+    def to_param(self) -> dict[str, Any]:
+        """The JSON-safe encoding embedded in job params."""
+        return {
+            REF_KEY: {
+                "hash": self.hash,
+                "shape": list(self.shape),
+                "dtype": self.dtype,
+                "start": self.start,
+                "stop": self.stop,
+            }
+        }
+
+    @classmethod
+    def from_param(cls, payload: dict[str, Any]) -> "ArrayRef":
+        """Decode :meth:`to_param` output back into a ref."""
+        try:
+            body = payload[REF_KEY]
+            return cls(
+                hash=str(body["hash"]),
+                shape=tuple(int(dim) for dim in body["shape"]),
+                dtype=str(body["dtype"]),
+                start=body.get("start"),
+                stop=body.get("stop"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(
+                f"malformed array-ref param: {payload!r} ({exc})"
+            ) from exc
+
+
+def shard_bounds(n_rows: int, start: int, stop: int) -> tuple[int, int]:
+    """Validated ``[start, stop)`` row bounds for an ``n_rows`` array."""
+    start = int(start)
+    stop = int(stop)
+    if not 0 <= start <= stop <= n_rows:
+        raise ValidationError(
+            f"shard [{start}, {stop}) out of bounds for {n_rows} rows"
+        )
+    return start, stop
+
+
+def _content_hash(array: np.ndarray) -> str:
+    digest = hashlib.sha256()
+    digest.update(array.dtype.str.encode("ascii"))
+    digest.update(repr(array.shape).encode("ascii"))
+    digest.update(array.tobytes() if not array.flags.c_contiguous else array.data)
+    return digest.hexdigest()
+
+
+def _read_only(array: np.ndarray) -> np.ndarray:
+    view = array.view()
+    view.flags.writeable = False
+    return view
+
+
+class DataPlane:
+    """Per-run registry of published arrays and their shm segments.
+
+    The plane lives in the process that owns the run (the one building
+    job specs).  :meth:`publish` registers arrays for in-process
+    resolution; :meth:`export_segments` materializes them as
+    shared-memory segments for the shared-memory executor, and
+    :meth:`release_segments` / :meth:`close` tear them down.  All
+    methods are thread-safe.
+    """
+
+    def __init__(self) -> None:
+        self._arrays: dict[str, np.ndarray] = {}
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        _LIVE_PLANES.add(self)
+
+    # ------------------------------------------------------------------
+    # parent-side publication and resolution
+
+    def publish(self, array: Any) -> ArrayRef:
+        """Register an array and return its content-addressed ref.
+
+        The array is copied into a C-contiguous read-only snapshot, so
+        later caller-side mutation cannot desynchronize transports.
+        Publishing identical content twice returns the same ref without
+        storing a second copy.
+        """
+        if self._closed:
+            raise DataPlaneError("cannot publish on a closed DataPlane")
+        if np.ndim(array) == 0:
+            raise ValidationError(
+                "cannot publish a 0-d array; pass scalars via params"
+            )
+        snapshot = np.ascontiguousarray(array)
+        if snapshot is array or snapshot.base is not None:
+            snapshot = snapshot.copy()
+        key = _content_hash(snapshot)
+        with self._lock:
+            if key not in self._arrays:
+                self._arrays[key] = _read_only(snapshot)
+            stored = self._arrays[key]
+        return ArrayRef(
+            hash=key, shape=stored.shape, dtype=stored.dtype.str
+        )
+
+    def get(self, ref: ArrayRef) -> np.ndarray:
+        """The (possibly sharded) read-only view a ref denotes."""
+        with self._lock:
+            array = self._arrays.get(ref.hash)
+        if array is None:
+            raise DataPlaneError(
+                f"array {ref.hash[:12]} is not published on this plane"
+            )
+        return _slice_ref(array, ref)
+
+    def array_for_hash(self, key: str) -> np.ndarray:
+        """The full published array for a content hash."""
+        with self._lock:
+            array = self._arrays.get(key)
+        if array is None:
+            raise DataPlaneError(
+                f"array {key[:12]} is not published on this plane"
+            )
+        return array
+
+    def hashes(self) -> list[str]:
+        """Content hashes of every published array."""
+        with self._lock:
+            return sorted(self._arrays)
+
+    @property
+    def bytes_resident(self) -> int:
+        """Bytes currently backed by segments this plane created."""
+        with self._lock:
+            return sum(
+                self._arrays[key].nbytes
+                for key in self._segments
+                if key in self._arrays
+            )
+
+    # ------------------------------------------------------------------
+    # shared-memory export (parent side)
+
+    def export_segments(
+        self, hashes: Iterable[str] | None = None
+    ) -> dict[str, tuple[str, tuple[int, ...], str]]:
+        """Create one shm segment per published array and copy it in.
+
+        Parameters
+        ----------
+        hashes:
+            Content hashes to export (default: everything published).
+
+        Returns
+        -------
+        dict
+            ``{hash: (segment_name, shape, dtype_str)}`` — the mapping
+            shipped to pool workers, which attach lazily via
+            :func:`_init_worker_segments`.
+
+        Idempotent per hash; segments created here persist until
+        :meth:`release_segments` (callers pair the two in
+        ``try``/``finally``).  On a partial failure every segment this
+        call created is released before the error propagates.
+        """
+        if self._closed:
+            raise DataPlaneError("cannot export from a closed DataPlane")
+        wanted = list(hashes) if hashes is not None else self.hashes()
+        exported: dict[str, tuple[str, tuple[int, ...], str]] = {}
+        created_now: list[str] = []
+        try:
+            for key in wanted:
+                array = self.array_for_hash(key)
+                with self._lock:
+                    segment = self._segments.get(key)
+                if segment is None:
+                    segment = _create_segment(array)
+                    with self._lock:
+                        self._segments[key] = segment
+                    created_now.append(key)
+                    trace.count("dataplane.segment.created")
+                    trace.gauge(
+                        "dataplane.bytes_resident", float(self.bytes_resident)
+                    )
+                exported[key] = (segment.name, array.shape, array.dtype.str)
+        except BaseException:
+            for key in created_now:
+                self._release_one(key)
+            raise
+        return exported
+
+    def _release_one(self, key: str) -> None:
+        with self._lock:
+            segment = self._segments.pop(key, None)
+        if segment is None:
+            return
+        with contextlib.suppress(OSError):
+            segment.close()
+        with contextlib.suppress(OSError, FileNotFoundError):
+            segment.unlink()
+        trace.count("dataplane.segment.unlinked")
+
+    def release_segments(self, hashes: Iterable[str] | None = None) -> None:
+        """Close and unlink segments this plane created (idempotent).
+
+        Parameters
+        ----------
+        hashes:
+            Content hashes to release (default: every live segment) —
+            an executor run releases exactly the segments it exported.
+        """
+        wanted = list(hashes) if hashes is not None else list(self._segments)
+        for key in wanted:
+            self._release_one(key)
+        trace.gauge("dataplane.bytes_resident", float(self.bytes_resident))
+
+    def close(self) -> None:
+        """Release all segments and drop published arrays (idempotent)."""
+        self.release_segments()
+        with self._lock:
+            self._arrays.clear()
+            self._closed = True
+        _LIVE_PLANES.discard(self)
+
+    def __enter__(self) -> "DataPlane":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"DataPlane(arrays={len(self._arrays)}, "
+            f"segments={len(self._segments)})"
+        )
+
+
+def _create_segment(array: np.ndarray) -> shared_memory.SharedMemory:
+    """A new uniquely named segment holding a copy of ``array``."""
+    last_error: Exception | None = None
+    for _attempt in range(8):
+        name = f"{SEGMENT_PREFIX}{os.getpid()}-{os.urandom(4).hex()}"
+        segment: shared_memory.SharedMemory | None = None
+        try:
+            try:
+                segment = shared_memory.SharedMemory(
+                    name=name, create=True, size=max(1, array.nbytes)
+                )
+            except FileExistsError as exc:  # rare name collision: retry
+                last_error = exc
+                continue
+            except OSError as exc:
+                raise DataPlaneError(
+                    f"cannot create shared-memory segment ({array.nbytes} "
+                    f"bytes): {exc}"
+                ) from exc
+            target: np.ndarray = np.ndarray(
+                array.shape, dtype=array.dtype, buffer=segment.buf
+            )
+            target[...] = array
+            return segment
+        except BaseException:
+            # Creation succeeded but the copy failed: never leak the
+            # segment — close and unlink before re-raising.
+            if segment is not None:
+                with contextlib.suppress(OSError):
+                    segment.close()
+                with contextlib.suppress(OSError, FileNotFoundError):
+                    segment.unlink()
+            raise
+    raise DataPlaneError(
+        f"cannot allocate a unique shared-memory segment name: {last_error}"
+    )
+
+
+#: Planes that have not been closed yet; the atexit sweep releases their
+#: segments if the owner never did (e.g. an uncaught exception skipped a
+#: caller-side finally).  Weak references, so an abandoned plane can
+#: still be garbage collected.
+_LIVE_PLANES: "weakref.WeakSet[DataPlane]" = weakref.WeakSet()
+
+
+def _sweep_live_planes() -> None:
+    for plane in list(_LIVE_PLANES):
+        plane.release_segments()
+
+
+atexit.register(_sweep_live_planes)
+
+
+# ----------------------------------------------------------------------
+# active plane (in-process resolution)
+
+_ACTIVE: DataPlane | None = None
+
+
+def active_plane() -> DataPlane | None:
+    """The plane activated in this process, or ``None``."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def activate(plane: DataPlane) -> Iterator[DataPlane]:
+    """Make ``plane`` the process's resolution source for a ``with`` block.
+
+    The previous active plane is restored on exit, so activations nest.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = plane
+    try:
+        yield plane
+    finally:
+        _ACTIVE = previous
+
+
+# ----------------------------------------------------------------------
+# worker-side transports
+
+#: Arrays shipped to this worker by pickle (process-pool transport);
+#: loaded per dispatch chunk and cleared afterwards.
+_WORKER_ARRAYS: dict[str, np.ndarray] = {}
+
+#: Lazily attached shm segments: hash -> (SharedMemory, full-array view).
+_WORKER_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+#: Attachment directory shipped by the pool initializer:
+#: hash -> (segment_name, shape, dtype_str).
+_WORKER_SEGMENT_INFO: dict[str, tuple[str, tuple[int, ...], str]] = {}
+
+
+def _init_worker_segments(
+    info: dict[str, tuple[str, tuple[int, ...], str]]
+) -> None:
+    """Pool initializer for the shared-memory transport.
+
+    Only the *directory* is stored; each segment is attached on first
+    resolve so workers that never touch an array never map it.  An
+    ``atexit`` hook closes this worker's attachments (the parent owns
+    unlinking).
+    """
+    _WORKER_SEGMENT_INFO.clear()
+    _WORKER_SEGMENT_INFO.update(info)
+    _close_worker_attachments()
+    atexit.register(_close_worker_attachments)
+
+
+def _close_worker_attachments() -> None:
+    for key in list(_WORKER_ATTACHED):
+        segment, _ = _WORKER_ATTACHED.pop(key)
+        with contextlib.suppress(OSError):
+            segment.close()
+
+
+def _attach_segment(key: str) -> np.ndarray:
+    """Attach this worker to a published segment (memoized, zero-copy)."""
+    cached = _WORKER_ATTACHED.get(key)
+    if cached is not None:
+        return cached[1]
+    name, shape, dtype = _WORKER_SEGMENT_INFO[key]
+    try:
+        segment = _attach_untracked(name)
+    except (OSError, FileNotFoundError) as exc:
+        raise DataPlaneError(
+            f"cannot attach shared-memory segment {name!r} for array "
+            f"{key[:12]}: {exc}"
+        ) from exc
+    try:
+        view: np.ndarray = np.ndarray(shape, dtype=dtype, buffer=segment.buf)
+        array = _read_only(view)
+        _WORKER_ATTACHED[key] = (segment, array)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            segment.close()
+        raise
+    trace.count("dataplane.segment.attached")
+    return array
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker custody.
+
+    ``SharedMemory.__init__`` registers every open — attach included —
+    with ``multiprocessing.resource_tracker``, which unlinks all
+    registered names at shutdown.  For a segment this process merely
+    attached to, that would destroy data the parent (and sibling
+    workers) still use; and under the ``fork`` start method the tracker
+    is *shared* with the parent, so an unregister-after-attach would
+    strip the creator's own registration.  Registration is therefore
+    suppressed for the duration of the attach call (Python 3.13 exposes
+    this directly as ``track=False``).  This worker must close but
+    never unlink the attachment (:func:`_close_worker_attachments`);
+    the creating plane owns the unlink.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def _register(name: str, rtype: str) -> None:
+        if rtype != "shared_memory":  # pragma: no cover - not hit here
+            original(name, rtype)
+
+    resource_tracker.register = _register
+    try:
+        # Attach-only open: no create, no custody, no unlink duty.
+        return shared_memory.SharedMemory(name=name)  # repro: ignore[shm-lifecycle] attach-only open; close/unlink are owned by _close_worker_attachments and the parent plane
+    finally:
+        resource_tracker.register = original
+
+
+def _load_worker_arrays(arrays: dict[str, np.ndarray]) -> None:
+    """Install a chunk's pickled arrays for resolution (pool transport)."""
+    _WORKER_ARRAYS.clear()
+    for key, array in arrays.items():
+        _WORKER_ARRAYS[key] = _read_only(np.ascontiguousarray(array))
+
+
+def _clear_worker_arrays() -> None:
+    _WORKER_ARRAYS.clear()
+
+
+# ----------------------------------------------------------------------
+# resolution
+
+def _slice_ref(array: np.ndarray, ref: ArrayRef) -> np.ndarray:
+    if tuple(array.shape) != ref.shape or array.dtype.str != ref.dtype:
+        raise DataPlaneError(
+            f"published array {ref.hash[:12]} has shape "
+            f"{tuple(array.shape)}/{array.dtype.str}, ref expects "
+            f"{ref.shape}/{ref.dtype}"
+        )
+    if ref.start is None:
+        return array
+    return array[ref.start:ref.stop]
+
+
+def resolve_ref(ref: ArrayRef) -> np.ndarray:
+    """Materialize a ref in this process, whatever the transport.
+
+    Resolution order: shm attachment directory (shared-memory workers),
+    chunk pickle payload (process-pool workers), then the active plane
+    (in-process execution).
+    """
+    if ref.hash in _WORKER_SEGMENT_INFO:
+        return _slice_ref(_attach_segment(ref.hash), ref)
+    if ref.hash in _WORKER_ARRAYS:
+        return _slice_ref(_WORKER_ARRAYS[ref.hash], ref)
+    plane = _ACTIVE
+    if plane is not None:
+        return plane.get(ref)
+    raise DataPlaneError(
+        f"array {ref.hash[:12]} is not available in this process: no "
+        "segment directory, no chunk payload, and no active DataPlane"
+    )
+
+
+def _is_ref_param(value: Any) -> bool:
+    return (
+        isinstance(value, dict) and len(value) == 1 and REF_KEY in value
+    )
+
+
+def _walk_resolve(value: Any) -> Any:
+    if _is_ref_param(value):
+        return resolve_ref(ArrayRef.from_param(value))
+    if isinstance(value, dict):
+        if any(
+            _is_ref_param(item) or isinstance(item, (dict, list))
+            for item in value.values()
+        ):
+            return {key: _walk_resolve(item) for key, item in value.items()}
+        return value
+    if isinstance(value, list):
+        if any(
+            _is_ref_param(item) or isinstance(item, (dict, list))
+            for item in value
+        ):
+            return [_walk_resolve(item) for item in value]
+        return value
+    return value
+
+
+def resolve_params(params: dict[str, Any]) -> dict[str, Any]:
+    """Params with every embedded :class:`ArrayRef` turned into a view.
+
+    Containers on the path to a ref are shallow-copied; params without
+    any refs are returned as-is, untouched and uncopied.
+    """
+    if not params_ref_hashes(params):
+        return params
+    resolved = _walk_resolve(params)
+    return resolved if isinstance(resolved, dict) else params
+
+
+def _walk_hashes(value: Any, found: set[str]) -> None:
+    if _is_ref_param(value):
+        found.add(str(value[REF_KEY]["hash"]))
+        return
+    if isinstance(value, dict):
+        for item in value.values():
+            _walk_hashes(item, found)
+    elif isinstance(value, list):
+        for item in value:
+            _walk_hashes(item, found)
+
+
+def params_ref_hashes(params: dict[str, Any]) -> set[str]:
+    """Content hashes of every ref embedded in a params dict."""
+    found: set[str] = set()
+    _walk_hashes(params, found)
+    return found

@@ -35,12 +35,14 @@ import hashlib
 import importlib
 import json
 import time
+import traceback as _traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 import numpy as np
 
 from repro import __version__ as _PACKAGE_VERSION
+from repro.engine import dataplane
 from repro.exceptions import JobExecutionError, ValidationError
 
 __all__ = [
@@ -51,6 +53,7 @@ __all__ = [
     "derive_rng",
     "resolve_task",
     "execute_job",
+    "failed_result",
 ]
 
 #: Cache-format version; bumping it (or releasing a new package
@@ -166,6 +169,13 @@ class JobResult:
         export_fragment`); ``None`` when tracing was disabled, for
         cache hits, and for in-process execution (whose spans reach the
         parent recorder directly).  Never cached.
+    error:
+        ``None`` for a successful job.  For a job that failed under a
+        ``fail_fast=False`` run: ``{"type": ..., "message": ...,
+        "traceback": ...}`` — the original exception class name, its
+        message, and the worker-side formatted traceback string (which
+        would otherwise be lost crossing the process boundary).  Failed
+        results are never written to the cache.
     """
 
     key: str
@@ -173,6 +183,12 @@ class JobResult:
     duration: float
     cached: bool = False
     trace: dict[str, Any] | None = None
+    error: dict[str, Any] | None = None
+
+    @property
+    def failed(self) -> bool:
+        """True when this job raised instead of returning a payload."""
+        return self.error is not None
 
 
 def derive_rng(spec: JobSpec) -> np.random.Generator | None:
@@ -203,36 +219,89 @@ def resolve_task(task: str) -> TaskFunction:
     return function
 
 
-def execute_job(spec: JobSpec) -> JobResult:
+def failed_result(
+    spec: JobSpec, exc: BaseException, traceback: str | None = None
+) -> JobResult:
+    """A failed :class:`JobResult` for ``spec`` (``fail_fast=False`` path).
+
+    The original exception's type, message, and formatted traceback
+    string are preserved on :attr:`JobResult.error` — a
+    :class:`JobExecutionError` contributes the worker-side traceback it
+    carries when no explicit one is given.
+    """
+    if traceback is None:
+        traceback = getattr(exc, "traceback", None)
+    return JobResult(
+        key=spec.key(),
+        values={},
+        duration=0.0,
+        error={
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback,
+        },
+    )
+
+
+def execute_job(spec: JobSpec, *, fail_fast: bool = True) -> JobResult:
     """Run one job to completion (the function process-pool workers call).
 
-    Task exceptions are re-raised as :class:`JobExecutionError` with a
-    flat, picklable message identifying the job, so failures propagate
-    cleanly across process boundaries.
+    Parameters
+    ----------
+    spec:
+        The job to execute.  Params containing encoded
+        :class:`~repro.engine.dataplane.ArrayRef` entries are resolved
+        to ndarray views before the task runs.
+    fail_fast:
+        With the default ``True``, task exceptions re-raise as
+        :class:`JobExecutionError` with a flat, picklable message and
+        the formatted original traceback, so failures propagate cleanly
+        across process boundaries.  With ``False``, the exception is
+        captured on a failed :class:`JobResult` instead (see
+        :func:`failed_result`) and the caller's sweep keeps draining.
     """
-    function = resolve_task(spec.task)
-    rng = derive_rng(spec)
-    # The two clock reads below measure JobResult.duration only; the
-    # value never reaches the payload or JobSpec.key().
+    try:
+        function = resolve_task(spec.task)
+        rng = derive_rng(spec)
+        params = dataplane.resolve_params(spec.params)
+    except Exception as exc:
+        # Setup failures (unresolvable task, missing data-plane array)
+        # are caller bugs, not task failures: they propagate raw so
+        # misconfigured sweeps fail loudly.  Drain mode still converts
+        # them, keeping the rest of the grid alive.
+        if not fail_fast:
+            return failed_result(spec, exc, traceback=_traceback.format_exc())
+        raise
+    # The clock reads below measure JobResult.duration only; the value
+    # never reaches the payload or JobSpec.key().
     start = time.perf_counter()  # repro: ignore[wall-clock] duration metric
     try:
-        values = function(spec.params, rng)
+        values = function(params, rng)
     except Exception as exc:
+        original = _traceback.format_exc()
+        if not fail_fast:
+            return failed_result(spec, exc, traceback=original)
         raise JobExecutionError(
             f"job {spec.key()[:12]} ({spec.task}, seed_path="
-            f"{spec.seed_path}) failed: {type(exc).__name__}: {exc}"
+            f"{spec.seed_path}) failed: {type(exc).__name__}: {exc}",
+            traceback=original,
         ) from exc
     duration = time.perf_counter() - start  # repro: ignore[wall-clock] duration metric
-    if not isinstance(values, dict):
-        raise JobExecutionError(
-            f"task {spec.task} returned {type(values).__name__}, "
-            "expected a JSON-serializable dict"
-        )
     try:
-        _canonical_json(values)
-    except ValidationError as exc:
-        raise JobExecutionError(
-            f"task {spec.task} returned a non-JSON-serializable payload: "
-            f"{exc}"
-        ) from exc
+        if not isinstance(values, dict):
+            raise JobExecutionError(
+                f"task {spec.task} returned {type(values).__name__}, "
+                "expected a JSON-serializable dict"
+            )
+        try:
+            _canonical_json(values)
+        except ValidationError as exc:
+            raise JobExecutionError(
+                f"task {spec.task} returned a non-JSON-serializable "
+                f"payload: {exc}"
+            ) from exc
+    except JobExecutionError as exc:
+        if not fail_fast:
+            return failed_result(spec, exc, traceback=_traceback.format_exc())
+        raise
     return JobResult(key=spec.key(), values=values, duration=duration)

@@ -17,6 +17,7 @@ __all__ = [
     "SpectrumError",
     "ConfigurationError",
     "JobExecutionError",
+    "DataPlaneError",
 ]
 
 
@@ -75,6 +76,29 @@ class ConfigurationError(ReproError, ValueError):
 class JobExecutionError(ReproError, RuntimeError):
     """A job failed inside an engine executor.
 
-    Carries only a flat message (task name, job key prefix, and the
-    original error) so it survives pickling across process boundaries.
+    Carries a flat message (task name, job key prefix, and the original
+    error) plus the worker-side formatted traceback string, both plain
+    strings so the exception survives pickling across process
+    boundaries.  ``__traceback__`` objects do not pickle, so
+    :attr:`traceback` is the only record of *where* the task failed
+    once the error crosses back to the parent process.
+    """
+
+    def __init__(self, message: str, traceback: str | None = None):
+        super().__init__(message)
+        self.traceback = traceback
+
+    def __reduce__(self):
+        # Default Exception pickling replays only ``args``; carry the
+        # traceback string through explicitly.
+        return (type(self), (self.args[0] if self.args else "", self.traceback))
+
+
+class DataPlaneError(ReproError, RuntimeError):
+    """A shared-memory data-plane operation failed.
+
+    Raised when an :class:`~repro.engine.dataplane.ArrayRef` cannot be
+    resolved in the current process (array never published, segment
+    gone) or when a shared-memory segment cannot be created or
+    attached.
     """

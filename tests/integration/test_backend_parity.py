@@ -1,0 +1,184 @@
+"""Cross-backend parity: every executor backend is bit-identical.
+
+Randomized (but seeded) grids of small ExperimentSpecs run on the
+serial reference backend and on the ``parallel`` and ``shared-memory``
+pools at worker counts 1, 2, and 4.  The bar is *bit* equality — the
+aggregated payloads match exactly, and each backend writes exactly the
+same set of cache keys, so a cache populated by one backend is a
+full-hit warm start for every other.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import run_spec
+from repro.api.spec import ExperimentSpec
+from repro.engine import (
+    Engine,
+    JobSpec,
+    ResultCache,
+    create_backend,
+)
+from repro.engine.dataplane import DataPlane, activate
+
+pytestmark = pytest.mark.slow
+
+#: Every (backend, workers) configuration compared to the serial
+#: reference.  Worker counts beyond the machine's core count still
+#: exercise the dispatch path — determinism cannot depend on cores.
+BACKEND_GRID = [
+    ("parallel", 1),
+    ("parallel", 2),
+    ("parallel", 4),
+    ("shared-memory", 1),
+    ("shared-memory", 2),
+    ("shared-memory", 4),
+]
+
+_ATTACK_POOL = [
+    ("UDR", {"kind": "udr"}),
+    ("PCA-DR", {"kind": "pca-dr"}),
+    ("BE-DR", {"kind": "be-dr"}),
+    ("SF", {"kind": "sf"}),
+]
+
+
+def _random_spec(rng: np.random.Generator, index: int) -> ExperimentSpec:
+    """A small randomized component-mode spec (seeded, so reproducible)."""
+    n_attacks = int(rng.integers(1, 4))
+    chosen = rng.choice(len(_ATTACK_POOL), size=n_attacks, replace=False)
+    attacks = {_ATTACK_POOL[i][0]: dict(_ATTACK_POOL[i][1]) for i in chosen}
+    spectrum = sorted(
+        (float(x) for x in rng.uniform(2.0, 50.0, size=4)), reverse=True
+    )
+    stds = sorted(float(x) for x in rng.uniform(0.5, 6.0, size=2))
+    return ExperimentSpec(
+        name=f"parity-{index}",
+        dataset={"kind": "synthetic", "spectrum": spectrum},
+        scheme={"kind": "additive", "std": stds[0]},
+        attacks=attacks,
+        params={"n_records": int(rng.integers(60, 140))},
+        grid={"scheme.std": stds},
+        trials=int(rng.integers(1, 3)),
+        seed=int(rng.integers(1, 2**31)),
+    )
+
+
+def _cache_keys(cache_dir) -> set[str]:
+    return {path.stem for path in cache_dir.glob("??/*.json")}
+
+
+def _comparable(result) -> dict:
+    """A result payload with wall-clock timing stripped.
+
+    ``stats.duration`` measures the run, not the experiment — it is the
+    one field allowed to differ between backends.
+    """
+    payload = result.to_dict()
+    payload.get("stats", {}).pop("duration", None)
+    return payload
+
+
+class TestSpecGridParity:
+    @pytest.mark.parametrize("spec_index", [0, 1, 2])
+    def test_backends_bit_identical_and_same_cache_keys(
+        self, tmp_path, spec_index
+    ):
+        rng = np.random.default_rng(1000 + spec_index)
+        spec = _random_spec(rng, spec_index)
+
+        reference_dir = tmp_path / "serial"
+        reference = run_spec(
+            spec, engine=Engine(cache=ResultCache(reference_dir))
+        )
+        reference_payload = _comparable(reference)
+        reference_keys = _cache_keys(reference_dir)
+        assert reference_keys  # the run actually wrote entries
+
+        for backend, workers in BACKEND_GRID:
+            cache_dir = tmp_path / f"{backend}-{workers}"
+            engine = Engine(
+                executor=create_backend(
+                    backend, workers=workers, chunk_size=1
+                ),
+                cache=ResultCache(cache_dir),
+            )
+            result = run_spec(spec, engine=engine)
+            assert _comparable(result) == reference_payload, (
+                f"{backend} x{workers} diverged from serial"
+            )
+            assert _cache_keys(cache_dir) == reference_keys, (
+                f"{backend} x{workers} wrote different cache keys"
+            )
+
+    def test_cache_warm_start_across_backends(self, tmp_path):
+        spec = _random_spec(np.random.default_rng(77), 99)
+        cache = ResultCache(tmp_path / "shared")
+        cold = run_spec(spec, engine=Engine(cache=cache))
+        warm = run_spec(
+            spec,
+            engine=Engine(
+                executor=create_backend("shared-memory", workers=2),
+                cache=cache,
+            ),
+        )
+        cold_payload = _comparable(cold)
+        warm_payload = _comparable(warm)
+        # The warm start must be a full hit: every job came from cache.
+        assert warm_payload["stats"].pop("cached") == 2
+        assert cold_payload["stats"].pop("cached") == 0
+        assert warm_payload == cold_payload
+
+
+class TestDataPlaneShardParity:
+    def test_shard_jobs_bit_identical_across_backends(self):
+        data = np.random.default_rng(41).normal(size=(400, 4))
+        with DataPlane() as plane:
+            ref = plane.publish(data)
+            specs = [
+                JobSpec(
+                    task="repro.api.tasks:attack_shard",
+                    params={
+                        "data": ref.shard(i * 100, (i + 1) * 100).to_param(),
+                        "scheme": {"kind": "additive", "std": 2.0},
+                        "attacks": {"UDR": {"kind": "udr"}},
+                    },
+                    seed_root=2005,
+                    seed_path=(i,),
+                )
+                for i in range(4)
+            ]
+            with activate(plane):
+                reference = create_backend("serial").run(specs)
+                for backend, workers in BACKEND_GRID:
+                    executor = create_backend(
+                        backend, workers=workers, chunk_size=1
+                    )
+                    results = executor.run(specs)
+                    assert [r.values for r in results] == [
+                        r.values for r in reference
+                    ], f"{backend} x{workers} diverged"
+                    assert [r.key for r in results] == [
+                        r.key for r in reference
+                    ]
+
+    def test_ref_keeps_segment_names_out_of_job_keys(self):
+        data = np.random.default_rng(42).normal(size=(50, 2))
+        with DataPlane() as first, DataPlane() as second:
+            ref_a = first.publish(data)
+            ref_b = second.publish(data.copy())
+            spec_a = JobSpec(
+                "repro.api.tasks:attack_shard",
+                {"data": ref_a.to_param()},
+                seed_root=1,
+                seed_path=(0,),
+            )
+            spec_b = JobSpec(
+                "repro.api.tasks:attack_shard",
+                {"data": ref_b.to_param()},
+                seed_root=1,
+                seed_path=(0,),
+            )
+            # Same content on two different planes: identical identity.
+            assert ref_a == ref_b
+            assert spec_a.key() == spec_b.key()

@@ -1,0 +1,165 @@
+"""Fault injection: the data plane never leaks segments, grids drain.
+
+Three failure modes against the pool backends, each checked for the
+same two invariants: ``/dev/shm`` holds no ``repro-dp-*`` segment after
+the run (cleanup runs on success, failure, and worker death), and with
+``fail_fast=False`` every spec still comes back as a JobResult — the
+failures as *failed* results carrying the original error.
+"""
+
+import glob
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.engine import Engine, JobSpec, ResultCache, SharedMemoryExecutor
+from repro.engine.dataplane import SEGMENT_PREFIX, ArrayRef, DataPlane, activate
+from repro.exceptions import JobExecutionError
+
+pytestmark = pytest.mark.slow
+
+_HERE = "tests.integration.test_dataplane_faults"
+
+
+def crashing_task(params, rng):
+    if params["x"] == 1:
+        raise RuntimeError("injected task failure")
+    return {"total": float(np.sum(params["data"])), "x": params["x"]}
+
+
+def killer_task(params, rng):
+    if params["x"] == 1:
+        # Simulate a worker dying mid-job: SIGKILL skips all cleanup.
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"total": float(np.sum(params["data"])), "x": params["x"]}
+
+
+def _segments_on_disk():
+    return set(glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*"))
+
+
+def _shard_specs(ref, task, count=4):
+    rows = ref.shape[0] // count
+    return [
+        JobSpec(
+            f"{_HERE}:{task}",
+            {"x": i, "data": ref.shard(i * rows, (i + 1) * rows).to_param()},
+            seed_root=3,
+            seed_path=(i,),
+        )
+        for i in range(count)
+    ]
+
+
+@pytest.fixture()
+def published():
+    before = _segments_on_disk()
+    data = np.random.default_rng(8).normal(size=(400, 3))
+    with DataPlane() as plane:
+        ref = plane.publish(data)
+        with activate(plane):
+            yield plane, ref
+    assert _segments_on_disk() == before, "leaked shared-memory segments"
+
+
+class TestTaskRaises:
+    def test_fail_fast_raises_and_cleans_segments(self, published):
+        plane, ref = published
+        executor = SharedMemoryExecutor(workers=2, chunk_size=1)
+        with pytest.raises(JobExecutionError, match="injected task failure"):
+            executor.run(_shard_specs(ref, "crashing_task"))
+
+    def test_drain_mode_returns_failed_result_per_spec(self, published):
+        plane, ref = published
+        executor = SharedMemoryExecutor(workers=2, chunk_size=1)
+        results = executor.run(
+            _shard_specs(ref, "crashing_task"), fail_fast=False
+        )
+        assert len(results) == 4
+        assert [r.failed for r in results] == [False, True, False, False]
+        error = results[1].error
+        assert error["type"] == "RuntimeError"
+        assert "injected task failure" in error["message"]
+        assert "RuntimeError: injected task failure" in error["traceback"]
+        for result in (results[0], results[2], results[3]):
+            assert result.values["total"] == pytest.approx(
+                result.values["total"]
+            )
+
+    def test_drain_mode_never_caches_failures(self, published, tmp_path):
+        plane, ref = published
+        cache = ResultCache(tmp_path)
+        engine = Engine(
+            executor=SharedMemoryExecutor(workers=2, chunk_size=1),
+            cache=cache,
+            fail_fast=False,
+        )
+        results = engine.run(_shard_specs(ref, "crashing_task"))
+        assert sum(r.failed for r in results) == 1
+        assert len(cache) == 3
+
+
+class TestWorkerKilledMidJob:
+    def test_fail_fast_raises_and_cleans_segments(self, published):
+        plane, ref = published
+        executor = SharedMemoryExecutor(workers=2, chunk_size=1)
+        with pytest.raises(Exception) as info:
+            executor.run(_shard_specs(ref, "killer_task"))
+        # A SIGKILLed worker surfaces as a broken-pool error, never as a
+        # silent partial result.
+        assert "process" in str(info.value).lower()
+
+    def test_drain_mode_synthesizes_failed_results(self, published):
+        plane, ref = published
+        executor = SharedMemoryExecutor(workers=2, chunk_size=1)
+        results = executor.run(
+            _shard_specs(ref, "killer_task"), fail_fast=False
+        )
+        # Every spec gets a result; the killed chunk (and any chunk lost
+        # with the broken pool) comes back failed with the pool error.
+        assert len(results) == 4
+        assert results[1].failed
+        assert all(
+            r.failed or r.values["x"] == i for i, r in enumerate(results)
+        )
+        assert results[1].error["type"] != ""
+        assert results[1].error["message"]
+
+
+class TestAttachFailure:
+    def test_unpublished_ref_fails_the_job_not_the_grid(self, published):
+        plane, ref = published
+        bogus = ArrayRef(hash="f" * 64, shape=(400, 3), dtype="<f8")
+        specs = _shard_specs(ref, "crashing_task")
+        # Replace job 2's ref with one no plane has published; the
+        # worker cannot resolve it through any transport.
+        specs[2] = JobSpec(
+            specs[2].task,
+            {"x": 2, "data": bogus.to_param()},
+            seed_root=3,
+            seed_path=(2,),
+        )
+        executor = SharedMemoryExecutor(workers=2, chunk_size=1)
+        results = executor.run(specs, fail_fast=False)
+        assert [r.failed for r in results] == [False, True, True, False]
+        assert results[2].error["type"] == "DataPlaneError"
+        # Exact wording depends on the transport that rejected it: "not
+        # published" via a fork-inherited plane, "not available" when no
+        # resolution source exists at all.
+        assert "not" in results[2].error["message"]
+
+    def test_export_rolls_back_when_run_setup_fails(self, published):
+        plane, ref = published
+
+        class ExplodingExecutor(SharedMemoryExecutor):
+            def _chunk_for(self, n_jobs):
+                raise RuntimeError("setup exploded")
+
+        before = _segments_on_disk()
+        with pytest.raises(RuntimeError, match="setup exploded"):
+            ExplodingExecutor(workers=2).run(
+                _shard_specs(ref, "crashing_task")
+            )
+        assert _segments_on_disk() == before

@@ -101,6 +101,32 @@ class TestTimeCase:
         with pytest.raises(ValidationError, match="repeat"):
             time_case(case, repeat=0)
 
+    def test_record_extra_captures_final_run_payload(self):
+        case = BenchmarkCase(
+            name="t.extra",
+            group="test",
+            setup=lambda: (lambda: {"curve": [1, 2, 3]}),
+            repeat=1,
+            record_extra=True,
+        )
+        entry = time_case(case)
+        assert entry["extra"] == {"curve": [1, 2, 3]}
+
+    def test_record_extra_requires_dict_payload(self):
+        case = BenchmarkCase(
+            name="t.extra.bad",
+            group="test",
+            setup=lambda: (lambda: 42),
+            repeat=1,
+            record_extra=True,
+        )
+        with pytest.raises(ValidationError, match="record_extra"):
+            time_case(case)
+
+    def test_extra_omitted_by_default(self, scratch_case):
+        entry = time_case(_REGISTRY["test.scratch.smoke"], repeat=1)
+        assert "extra" not in entry
+
 
 class TestRunBenchmarks:
     def test_payload_shape(self, scratch_case):

@@ -1,0 +1,290 @@
+"""Unit tests for the shared-memory data plane."""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.engine import dataplane
+from repro.engine.dataplane import (
+    SEGMENT_PREFIX,
+    ArrayRef,
+    DataPlane,
+    activate,
+    active_plane,
+    params_ref_hashes,
+    resolve_params,
+    shard_bounds,
+)
+from repro.exceptions import DataPlaneError, ValidationError
+
+
+def _segments_on_disk():
+    return set(glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*"))
+
+
+@pytest.fixture()
+def plane():
+    with DataPlane() as p:
+        yield p
+    assert _segments_on_disk() == set()
+
+
+@pytest.fixture()
+def data():
+    return np.random.default_rng(11).normal(size=(100, 3))
+
+
+class TestArrayRef:
+    def test_param_roundtrip(self, plane, data):
+        ref = plane.publish(data)
+        again = ArrayRef.from_param(ref.to_param())
+        assert again == ref
+        assert again.shape == (100, 3)
+
+    def test_shard_roundtrip_keeps_bounds(self, plane, data):
+        shard = plane.publish(data).shard(10, 40)
+        again = ArrayRef.from_param(shard.to_param())
+        assert (again.start, again.stop) == (10, 40)
+
+    def test_param_is_json_safe(self, plane, data):
+        import json
+
+        json.dumps(plane.publish(data).shard(0, 5).to_param())
+
+    def test_malformed_param_rejected(self):
+        with pytest.raises(ValidationError, match="malformed array-ref"):
+            ArrayRef.from_param({"__array_ref__": {"hash": "x"}})
+
+    def test_shard_bounds_validated(self, plane, data):
+        ref = plane.publish(data)
+        with pytest.raises(ValidationError, match="out of bounds"):
+            ref.shard(0, 101)
+        with pytest.raises(ValidationError, match="out of bounds"):
+            ref.shard(-1, 10)
+        with pytest.raises(ValidationError, match="out of bounds"):
+            ref.shard(50, 40)
+
+    def test_nbytes_reports_full_array(self, plane, data):
+        ref = plane.publish(data)
+        assert ref.nbytes == data.nbytes
+        assert ref.shard(0, 10).nbytes == data.nbytes
+
+    def test_shard_bounds_helper(self):
+        assert shard_bounds(10, 0, 10) == (0, 10)
+        with pytest.raises(ValidationError):
+            shard_bounds(10, 5, 11)
+
+
+class TestPublish:
+    def test_identical_content_dedupes(self, plane, data):
+        first = plane.publish(data)
+        second = plane.publish(data.copy())
+        assert first == second
+        assert plane.hashes() == [first.hash]
+
+    def test_distinct_content_distinct_hash(self, plane, data):
+        assert plane.publish(data).hash != plane.publish(data + 1.0).hash
+
+    def test_snapshot_isolated_from_caller_mutation(self, plane, data):
+        source = data.copy()
+        ref = plane.publish(source)
+        before = plane.get(ref).copy()
+        source[:] = 0.0
+        np.testing.assert_array_equal(plane.get(ref), before)
+
+    def test_published_view_is_read_only(self, plane, data):
+        view = plane.get(plane.publish(data))
+        with pytest.raises(ValueError):
+            view[0, 0] = 1.0
+
+    def test_rejects_scalars(self, plane):
+        with pytest.raises(ValidationError, match="0-d"):
+            plane.publish(np.float64(3.0))
+
+    def test_closed_plane_rejects_publish(self, data):
+        plane = DataPlane()
+        plane.close()
+        with pytest.raises(DataPlaneError, match="closed"):
+            plane.publish(data)
+
+    def test_get_unknown_ref(self, plane, data):
+        stranger = DataPlane()
+        ref = stranger.publish(data)
+        stranger.close()
+        with pytest.raises(DataPlaneError, match="not published"):
+            plane.get(ref)
+
+    def test_shard_resolution_slices_rows(self, plane, data):
+        ref = plane.publish(data)
+        np.testing.assert_array_equal(
+            plane.get(ref.shard(10, 30)), data[10:30]
+        )
+
+
+class TestResolveParams:
+    def test_refless_params_pass_through_unchanged(self, plane):
+        params = {"x": 1, "nested": {"y": [1, 2]}}
+        assert resolve_params(params) is params
+
+    def test_refs_resolve_at_any_depth(self, plane, data):
+        ref = plane.publish(data)
+        with activate(plane):
+            resolved = resolve_params(
+                {
+                    "top": ref.to_param(),
+                    "nested": {"inner": ref.shard(0, 5).to_param()},
+                    "listed": [ref.shard(5, 9).to_param(), 7],
+                }
+            )
+        np.testing.assert_array_equal(resolved["top"], data)
+        np.testing.assert_array_equal(resolved["nested"]["inner"], data[:5])
+        np.testing.assert_array_equal(resolved["listed"][0], data[5:9])
+        assert resolved["listed"][1] == 7
+
+    def test_original_params_not_mutated(self, plane, data):
+        ref = plane.publish(data)
+        params = {"data": ref.to_param()}
+        with activate(plane):
+            resolve_params(params)
+        assert params == {"data": ref.to_param()}
+
+    def test_unresolvable_ref_raises(self, plane, data):
+        ref = plane.publish(data)
+        assert active_plane() is None
+        with pytest.raises(DataPlaneError, match="not available"):
+            resolve_params({"data": ref.to_param()})
+
+    def test_params_ref_hashes(self, plane, data):
+        ref = plane.publish(data)
+        other = plane.publish(data * 2.0)
+        found = params_ref_hashes(
+            {"a": ref.to_param(), "b": [{"c": other.to_param()}], "d": 1}
+        )
+        assert found == {ref.hash, other.hash}
+        assert params_ref_hashes({"x": 1}) == set()
+
+
+class TestActivation:
+    def test_activation_nests_and_restores(self, data):
+        with DataPlane() as outer, DataPlane() as inner:
+            assert active_plane() is None
+            with activate(outer):
+                assert active_plane() is outer
+                with activate(inner):
+                    assert active_plane() is inner
+                assert active_plane() is outer
+            assert active_plane() is None
+
+
+class TestSegments:
+    def test_export_creates_and_release_unlinks(self, plane, data):
+        ref = plane.publish(data)
+        before = _segments_on_disk()
+        exported = plane.export_segments()
+        on_disk = _segments_on_disk() - before
+        assert len(on_disk) == 1
+        name, shape, dtype = exported[ref.hash]
+        assert f"/dev/shm/{name}" in on_disk
+        assert shape == data.shape
+        assert plane.bytes_resident == data.nbytes
+        plane.release_segments()
+        assert _segments_on_disk() == before
+        assert plane.bytes_resident == 0
+
+    def test_export_is_idempotent(self, plane, data):
+        plane.publish(data)
+        first = plane.export_segments()
+        second = plane.export_segments()
+        assert first == second
+        plane.release_segments()
+
+    def test_release_is_idempotent(self, plane, data):
+        plane.publish(data)
+        plane.export_segments()
+        plane.release_segments()
+        plane.release_segments()
+
+    def test_selective_export_and_release(self, plane, data):
+        ref_a = plane.publish(data)
+        ref_b = plane.publish(data * 3.0)
+        exported = plane.export_segments([ref_a.hash])
+        assert set(exported) == {ref_a.hash}
+        both = plane.export_segments([ref_a.hash, ref_b.hash])
+        assert set(both) == {ref_a.hash, ref_b.hash}
+        plane.release_segments([ref_a.hash])
+        assert plane.bytes_resident == data.nbytes
+        plane.release_segments([ref_b.hash])
+        assert plane.bytes_resident == 0
+
+    def test_close_releases_everything(self, data):
+        plane = DataPlane()
+        plane.publish(data)
+        before = _segments_on_disk()
+        plane.export_segments()
+        plane.close()
+        assert _segments_on_disk() == before
+        plane.close()  # idempotent
+
+    def test_export_on_closed_plane_rejected(self, data):
+        plane = DataPlane()
+        plane.close()
+        with pytest.raises(DataPlaneError, match="closed"):
+            plane.export_segments()
+
+    def test_segment_content_matches_published(self, plane, data):
+        from multiprocessing import shared_memory
+
+        ref = plane.publish(data)
+        exported = plane.export_segments()
+        name, shape, dtype = exported[ref.hash]
+        segment = shared_memory.SharedMemory(name=name)  # repro: ignore[shm-lifecycle] test attach; closed below, parent plane unlinks
+        try:
+            view = np.ndarray(shape, dtype=dtype, buffer=segment.buf)
+            np.testing.assert_array_equal(view, data)
+        finally:
+            segment.close()
+        plane.release_segments()
+
+
+class TestWorkerAttachment:
+    """Exercise the worker-side attach path inside this process."""
+
+    @pytest.fixture()
+    def worker_state(self):
+        yield
+        dataplane._close_worker_attachments()
+        dataplane._WORKER_SEGMENT_INFO.clear()
+        dataplane._clear_worker_arrays()
+
+    def test_attach_resolves_zero_copy_shards(self, plane, data, worker_state):
+        ref = plane.publish(data)
+        exported = plane.export_segments()
+        dataplane._init_worker_segments(exported)
+        resolved = dataplane.resolve_ref(ref.shard(10, 20))
+        np.testing.assert_array_equal(resolved, data[10:20])
+        assert not resolved.flags.writeable
+        # Memoized: the same segment object backs a second resolve.
+        again = dataplane.resolve_ref(ref)
+        assert again.base is resolved.base
+        dataplane._close_worker_attachments()
+        dataplane._WORKER_SEGMENT_INFO.clear()
+        plane.release_segments()
+
+    def test_attach_missing_segment_raises(self, plane, worker_state):
+        dataplane._init_worker_segments(
+            {"deadbeef" * 8: ("repro-dp-gone", (4,), "<f8")}
+        )
+        ref = ArrayRef(hash="deadbeef" * 8, shape=(4,), dtype="<f8")
+        with pytest.raises(DataPlaneError, match="cannot attach"):
+            dataplane.resolve_ref(ref)
+
+    def test_pickle_transport_arrays(self, plane, data, worker_state):
+        ref = plane.publish(data)
+        dataplane._load_worker_arrays({ref.hash: data})
+        np.testing.assert_array_equal(
+            dataplane.resolve_ref(ref.shard(0, 7)), data[:7]
+        )
+        dataplane._clear_worker_arrays()
+        with pytest.raises(DataPlaneError, match="not available"):
+            dataplane.resolve_ref(ref)

@@ -1,0 +1,58 @@
+"""Unit tests for the executor-backend seam."""
+
+import pytest
+
+from repro.engine import (
+    BACKENDS,
+    ParallelExecutor,
+    SerialExecutor,
+    SharedMemoryExecutor,
+    backend_names,
+    create_backend,
+    register_backend,
+)
+from repro.exceptions import ValidationError
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert backend_names() == ["parallel", "serial", "shared-memory"]
+
+    def test_create_builtin_backends(self):
+        assert isinstance(create_backend("serial"), SerialExecutor)
+        parallel = create_backend("parallel", workers=3)
+        assert isinstance(parallel, ParallelExecutor)
+        assert parallel.workers == 3
+        shm = create_backend("shared-memory", workers=2, chunk_size=5)
+        assert isinstance(shm, SharedMemoryExecutor)
+        assert (shm.workers, shm.chunk_size) == (2, 5)
+
+    def test_backend_names_match_class_attribute(self):
+        for name in backend_names():
+            assert create_backend(name).name == name
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValidationError, match="unknown executor backend"):
+            create_backend("carrier-pigeon")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValidationError, match="already registered"):
+            register_backend("serial", lambda workers, chunk: None)
+
+    def test_reregistering_same_factory_is_idempotent(self):
+        register_backend("serial", BACKENDS["serial"])
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValidationError):
+            register_backend("", lambda workers, chunk: None)
+
+    def test_custom_backend_round_trip(self):
+        def factory(workers, chunk_size):
+            return SerialExecutor()
+
+        register_backend("test-custom", factory)
+        try:
+            assert "test-custom" in backend_names()
+            assert isinstance(create_backend("test-custom"), SerialExecutor)
+        finally:
+            del BACKENDS["test-custom"]

@@ -94,6 +94,95 @@ class TestParallelExecutor:
         assert ParallelExecutor(workers=2, chunk_size=5)._chunk_for(100) == 5
 
 
+class TestFailureHandling:
+    def test_serial_traceback_preserved(self):
+        with pytest.raises(JobExecutionError, match="x=2 is cursed") as info:
+            SerialExecutor().run(_specs(4, "sometimes_failing_task"))
+        assert "ValueError: x=2 is cursed" in info.value.traceback
+        assert "sometimes_failing_task" in info.value.traceback
+
+    def test_parallel_traceback_survives_process_boundary(self):
+        with pytest.raises(JobExecutionError, match="x=2 is cursed") as info:
+            ParallelExecutor(workers=2, chunk_size=1).run(
+                _specs(4, "sometimes_failing_task")
+            )
+        assert info.value.traceback is not None
+        assert "ValueError: x=2 is cursed" in info.value.traceback
+
+    def test_job_execution_error_pickle_round_trip(self):
+        import pickle
+
+        error = JobExecutionError("job died", traceback="Traceback ...")
+        clone = pickle.loads(pickle.dumps(error))
+        assert str(clone) == "job died"
+        assert clone.traceback == "Traceback ..."
+
+    def test_serial_drain_mode_collects_failures(self):
+        results = SerialExecutor().run(
+            _specs(4, "sometimes_failing_task"), fail_fast=False
+        )
+        assert [r.failed for r in results] == [False, False, True, False]
+        failed = results[2]
+        assert failed.values == {}
+        assert failed.error["type"] == "ValueError"
+        assert "x=2 is cursed" in failed.error["message"]
+        assert "ValueError: x=2 is cursed" in failed.error["traceback"]
+        assert [r.values.get("square") for r in results] == [0, 1, None, 9]
+
+    def test_parallel_drain_mode_collects_failures(self):
+        results = ParallelExecutor(workers=2, chunk_size=1).run(
+            _specs(4, "sometimes_failing_task"), fail_fast=False
+        )
+        assert [r.failed for r in results] == [False, False, True, False]
+        assert "ValueError: x=2 is cursed" in results[2].error["traceback"]
+
+    def test_drain_mode_callback_sees_failures(self):
+        seen = []
+        SerialExecutor().run(
+            _specs(4, "sometimes_failing_task"),
+            callback=seen.append,
+            fail_fast=False,
+        )
+        assert sorted(r.failed for r in seen) == [False, False, False, True]
+
+    def test_engine_drain_mode_never_caches_failures(self, tmp_path):
+        from repro.engine import ResultCache
+
+        cache = ResultCache(tmp_path)
+        engine = Engine(cache=cache, fail_fast=False)
+        results = engine.run(_specs(4, "sometimes_failing_task"))
+        assert [r.failed for r in results] == [False, False, True, False]
+        assert len(cache) == 3
+        # Re-running recovers the three successes and re-fails the rest.
+        again = Engine(cache=cache, fail_fast=False).run(
+            _specs(4, "sometimes_failing_task")
+        )
+        assert [r.cached for r in again] == [True, True, False, True]
+        assert again[2].failed
+
+    def test_cache_refuses_failed_results(self, tmp_path):
+        from repro.engine import ResultCache
+        from repro.engine.jobs import failed_result
+
+        spec = _specs(1)[0]
+        result = failed_result(spec, ValueError("nope"))
+        with pytest.raises(ValidationError, match="failed result"):
+            ResultCache(tmp_path).put(spec, result)
+
+    def test_failed_result_shape(self):
+        from repro.engine.jobs import failed_result
+
+        spec = _specs(1)[0]
+        result = failed_result(spec, ValueError("nope"), traceback="tb")
+        assert result.failed
+        assert result.key == spec.key()
+        assert result.error == {
+            "type": "ValueError",
+            "message": "nope",
+            "traceback": "tb",
+        }
+
+
 class TestProgressReporting:
     def test_engine_emits_progress_events(self):
         events = []
