@@ -19,7 +19,8 @@ Payload schema (``schema`` field = ``"repro-bench/v1"``)::
           "group": "hotpath", "tags": ["large"],
           "params": {"n_records": 100000, "n_bins": 64},
           "seconds": [1.91, 1.90, 1.93],
-          "seconds_min": 1.90, "seconds_mean": 1.913
+          "seconds_min": 1.90, "seconds_mean": 1.913,
+          "resource": {"rss_bytes": 123456789, "cpu_seconds": 5.71}
         }, ...
       }
     }
@@ -33,6 +34,7 @@ from __future__ import annotations
 
 import importlib.util
 import json
+import os
 import pathlib
 import platform
 import sys
@@ -43,6 +45,7 @@ import numpy as np
 from repro.bench.registry import BenchmarkCase, iter_benchmarks
 from repro.exceptions import ValidationError
 from repro.telemetry import Recorder, build_manifest, trace, write_trace
+from repro.telemetry.sampler import read_process, sampling_supported
 
 __all__ = [
     "SCHEMA",
@@ -61,6 +64,10 @@ SCHEMA = "repro-bench/v1"
 #: Regression threshold for :func:`compare_to_baseline`: a benchmark is
 #: flagged when it runs this many times slower than the baseline.
 DEFAULT_REGRESSION_RATIO = 1.5
+
+#: Noise threshold: a case whose timings scatter more than this
+#: (stddev / mean) is too noisy for a hard pass/fail verdict.
+DEFAULT_NOISE_REL_STDDEV = 0.10
 
 
 def time_case(case: BenchmarkCase, *, repeat: int = 3) -> dict:
@@ -84,6 +91,13 @@ def time_case(case: BenchmarkCase, *, repeat: int = 3) -> dict:
     if runs < 1:
         raise ValidationError(f"repeat must be >= 1, got {runs}")
     workload = case.setup()
+    # Per-case resource attribution: /proc readings before and after the
+    # timed block give this case's CPU burn and the RSS it left behind
+    # (rss_max is the process peak so far — the case that first pushes
+    # it up is the one that owns the spike).
+    resources_before = (
+        read_process(os.getpid()) if sampling_supported() else None
+    )
     # One bench.case span covers warmup plus every timed run, so a
     # traced bench (``repro bench --trace``) shows each case's full
     # wall-clock alongside the spans its workload emits internally.
@@ -96,6 +110,10 @@ def time_case(case: BenchmarkCase, *, repeat: int = 3) -> dict:
             returned = workload()
             timings.append(time.perf_counter() - started)
         span.set(seconds_min=min(timings))
+        if resources_before is not None:
+            after = read_process(os.getpid())
+            if after is not None:
+                span.set(rss_bytes=after["rss_bytes"])
     entry = {
         "group": case.group,
         "tags": list(case.tags),
@@ -104,6 +122,13 @@ def time_case(case: BenchmarkCase, *, repeat: int = 3) -> dict:
         "seconds_min": min(timings),
         "seconds_mean": sum(timings) / len(timings),
     }
+    if resources_before is not None and after is not None:
+        entry["resource"] = {
+            "rss_bytes": after["rss_bytes"],
+            "cpu_seconds": round(
+                after["cpu_seconds"] - resources_before["cpu_seconds"], 4
+            ),
+        }
     if case.record_extra:
         if not isinstance(returned, dict):
             raise ValidationError(
@@ -223,11 +248,23 @@ def default_baseline_path() -> pathlib.Path | None:
     return candidate if candidate.is_file() else None
 
 
+def _relative_stddev(timings: list) -> float:
+    """Population stddev of the timings, relative to their mean."""
+    if len(timings) < 2:
+        return 0.0
+    mean = sum(timings) / len(timings)
+    if mean <= 0.0:
+        return 0.0
+    variance = sum((t - mean) ** 2 for t in timings) / len(timings)
+    return (variance ** 0.5) / mean
+
+
 def compare_to_baseline(
     payload: dict,
     baseline: dict,
     *,
     regression_ratio: float = DEFAULT_REGRESSION_RATIO,
+    noise_rel_stddev: float = DEFAULT_NOISE_REL_STDDEV,
 ) -> dict:
     """Compare a run against a baseline payload, benchmark by benchmark.
 
@@ -238,17 +275,23 @@ def compare_to_baseline(
         are compared (on ``seconds_min``).
     regression_ratio:
         ``current / baseline`` above this flags a regression.
+    noise_rel_stddev:
+        Relative stddev of the current run's raw timings above which a
+        case is too noisy to trust: an over-threshold ratio there lands
+        in ``unreliable`` instead of ``regressions``, so one loaded CI
+        machine cannot hard-fail the gate.
 
     Returns
     -------
     dict
-        ``{"rows": [...], "regressions": [names], "missing": [names]}``
-        where each row has ``name``, ``baseline_s``, ``current_s``,
-        ``ratio`` (<1 = faster than baseline), and ``speedup``
-        (baseline/current, >1 = faster).
+        ``{"rows", "regressions", "unreliable", "missing"}`` where each
+        row has ``name``, ``baseline_s``, ``current_s``, ``ratio``
+        (<1 = faster than baseline), ``speedup`` (baseline/current,
+        >1 = faster), ``rel_stddev``, and ``noisy``.
     """
     rows = []
     regressions = []
+    unreliable = []
     base_benchmarks = baseline.get("benchmarks", {})
     for name, entry in payload["benchmarks"].items():
         base = base_benchmarks.get(name)
@@ -257,6 +300,10 @@ def compare_to_baseline(
         baseline_s = float(base["seconds_min"])
         current_s = float(entry["seconds_min"])
         ratio = current_s / baseline_s if baseline_s > 0.0 else float("inf")
+        rel_stddev = _relative_stddev(
+            [float(t) for t in entry.get("seconds", [])]
+        )
+        noisy = rel_stddev > noise_rel_stddev
         rows.append(
             {
                 "name": name,
@@ -264,12 +311,22 @@ def compare_to_baseline(
                 "current_s": current_s,
                 "ratio": ratio,
                 "speedup": 1.0 / ratio if ratio > 0.0 else float("inf"),
+                "rel_stddev": rel_stddev,
+                "noisy": noisy,
             }
         )
         if ratio > regression_ratio:
-            regressions.append(name)
+            if noisy:
+                unreliable.append(name)
+            else:
+                regressions.append(name)
     missing = sorted(set(payload["benchmarks"]) - set(base_benchmarks))
-    return {"rows": rows, "regressions": regressions, "missing": missing}
+    return {
+        "rows": rows,
+        "regressions": regressions,
+        "unreliable": unreliable,
+        "missing": missing,
+    }
 
 
 def render_report(payload: dict) -> str:
@@ -290,16 +347,22 @@ def render_comparison(comparison: dict) -> str:
     if not rows:
         return "no overlapping benchmarks between run and baseline"
     lines = [
-        f"{'benchmark':<42} {'base (s)':>10} {'now (s)':>10} {'speedup':>9}"
+        f"{'benchmark':<42} {'base (s)':>10} {'now (s)':>10} "
+        f"{'speedup':>9} {'stddev':>7}"
     ]
-    lines.append("-" * 74)
+    lines.append("-" * 82)
     for row in rows:
         marker = ""
         if row["name"] in comparison["regressions"]:
             marker = "  << REGRESSION"
+        elif row["name"] in comparison.get("unreliable", []):
+            marker = "  ?? slow but noisy (unreliable)"
+        elif row.get("noisy"):
+            marker = "  ~ noisy"
         lines.append(
             f"{row['name']:<42} {row['baseline_s']:>10.4f} "
-            f"{row['current_s']:>10.4f} {row['speedup']:>8.2f}x{marker}"
+            f"{row['current_s']:>10.4f} {row['speedup']:>8.2f}x "
+            f"{row.get('rel_stddev', 0.0):>6.1%}{marker}"
         )
     if comparison["missing"]:
         lines.append(
@@ -308,12 +371,71 @@ def render_comparison(comparison: dict) -> str:
     return "\n".join(lines)
 
 
+def _main_history(files: list, args) -> int:
+    """The ``repro bench history RESULTS...`` sub-mode."""
+    from repro.telemetry import build_history, render_history
+
+    if not files:
+        print(
+            "error: 'repro bench history' needs at least one "
+            "BENCH_*.json results file",
+            file=sys.stderr,
+        )
+        return 2
+    payloads = []
+    for path in files:
+        try:
+            payloads.append(load_payload(path))
+        except (OSError, json.JSONDecodeError, ValidationError) as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+    baseline = None
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline:
+        baseline_path = default_baseline_path()
+    if baseline_path is not None and not args.no_baseline:
+        try:
+            baseline = load_payload(baseline_path)
+        except (OSError, json.JSONDecodeError, ValidationError) as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+    history = build_history(
+        payloads, baseline=baseline, regression_ratio=args.max_regression
+    )
+    print(render_history(history))
+    if args.json is not None:
+        path = pathlib.Path(args.json)
+        path.write_text(
+            json.dumps(history, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {path}", file=sys.stderr)
+    if history["regressions"] and args.fail_on_regression:
+        print(
+            f"error: {len(history['regressions'])} case(s) regressed "
+            f"beyond {args.max_regression:.2f}x baseline",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main_bench(args) -> int:
     """Entry point for the ``repro bench`` subcommand."""
     import repro.bench.dataplane  # noqa: F401  (registration side effects)
     import repro.bench.hotpaths  # noqa: F401
     import repro.bench.pipelines  # noqa: F401
     import repro.bench.telemetry  # noqa: F401
+
+    action = list(getattr(args, "action", []) or [])
+    if action:
+        if action[0] != "history":
+            print(
+                f"error: unknown bench subcommand {action[0]!r} "
+                "(expected 'history RESULTS...')",
+                file=sys.stderr,
+            )
+            return 2
+        return _main_history(action[1:], args)
 
     if args.list:
         cases = iter_benchmarks(args.filter)
@@ -339,15 +461,29 @@ def main_bench(args) -> int:
         )
 
     trace_path = getattr(args, "trace", None)
-    recorder = Recorder() if trace_path is not None else None
+    metrics_path = getattr(args, "metrics", None)
+    recorder = (
+        Recorder()
+        if trace_path is not None or metrics_path is not None
+        else None
+    )
     try:
         if recorder is not None:
+            from repro.telemetry import run_health
+
             with trace.recording(recorder):
-                payload = run_benchmarks(
-                    filter_token=args.filter,
-                    repeat=args.repeat,
-                    progress=progress,
-                )
+                with run_health(
+                    recorder,
+                    metrics_path=metrics_path,
+                    interval=getattr(args, "metrics_interval", 1.0),
+                ):
+                    payload = run_benchmarks(
+                        filter_token=args.filter,
+                        repeat=args.repeat,
+                        progress=progress,
+                    )
+            if metrics_path is not None:
+                print(f"wrote metrics {metrics_path}", file=sys.stderr)
         else:
             payload = run_benchmarks(
                 filter_token=args.filter, repeat=args.repeat, progress=progress
@@ -358,7 +494,7 @@ def main_bench(args) -> int:
 
     print(render_report(payload))
 
-    if recorder is not None:
+    if recorder is not None and trace_path is not None:
         # The manifest's timing table reuses the headline numbers, so a
         # trace file is self-contained even without the BENCH_*.json.
         manifest = build_manifest(

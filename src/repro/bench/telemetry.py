@@ -16,6 +16,11 @@ wraps.  Two cases make that budget measurable:
     10k disabled span entries back to back — the per-call hook cost in
     isolation, for eyeballing how many calls fit inside 2% of any
     kernel's runtime.
+
+``telemetry.em_runhealth.smoke``
+    The same EM fit under the full run-health harness (recorder +
+    metrics exporter + resource sampler), bounding the run-health
+    layer's end-to-end overhead against the disabled case.
 """
 
 from __future__ import annotations
@@ -81,6 +86,44 @@ def bench_em_enabled():
     def run():
         with trace.recording(Recorder()):
             return workload()
+
+    return run
+
+
+@register_benchmark(
+    "telemetry.em_runhealth.smoke",
+    group="telemetry",
+    tags=("smoke", "telemetry"),
+    params={"n_samples": 2000, "n_components": 2},
+)
+def bench_em_runhealth():
+    """The same EM fit under the full run-health harness.
+
+    Recording plus a live metrics exporter (writing to a temp ring
+    file) plus the resource sampler — the everything-on configuration
+    ``repro run --trace --metrics`` uses.  Comparing this case against
+    ``telemetry.em_disabled.smoke`` bounds the run-health layer's
+    end-to-end overhead; the <2% budget itself is asserted per-tick by
+    ``tests/unit/test_runhealth.py``.
+    """
+    import pathlib
+    import tempfile
+
+    from repro.telemetry import Recorder, run_health, trace
+
+    workload = _em_workload()
+    tmp = pathlib.Path(tempfile.mkdtemp(prefix="repro-bench-"))
+
+    def run():
+        recorder = Recorder()
+        with trace.recording(recorder):
+            with run_health(
+                recorder,
+                metrics_path=tmp / "metrics.json",
+                interval=0.2,
+                sampler_interval=0.1,
+            ):
+                return workload()
 
     return run
 

@@ -6,7 +6,11 @@ Usage (after ``pip install -e .``)::
     repro run spec.json --jobs 4      # parallel across 4 worker processes
     repro run spec.json --json        # structured ExperimentResult JSON
     repro run spec.json --trace t.json  # record spans + run manifest
+    repro run spec.json --metrics m.json  # live metrics ring + .prom text
     repro trace t.json                # render a recorded trace document
+    repro trace diff a.json b.json    # span-aligned cross-run deltas
+    repro metrics m.json              # inspect a metrics ring file
+    repro bench history results/*.json  # per-case bench timelines
     repro check src/ --fix-hints      # determinism/parallel-safety lints
     repro check --list-rules          # the registered rule catalog
     repro list schemes                # registered randomization schemes
@@ -59,8 +63,13 @@ from repro.registry import ATTACKS, DATASETS, SCHEMES
 from repro.telemetry import (
     Recorder,
     build_manifest,
+    diff_traces,
+    render_diff,
+    render_openmetrics,
     render_trace,
+    run_health,
     trace,
+    validate_metrics,
     validate_trace,
     write_trace,
 )
@@ -141,6 +150,28 @@ def _add_engine_arguments(sub: argparse.ArgumentParser) -> None:
             "counters, run manifest) at PATH; view it with "
             "'repro trace PATH'"
         ),
+    )
+    _add_metrics_arguments(sub)
+
+
+def _add_metrics_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help=(
+            "export live run metrics while executing: a repro-metrics/v1 "
+            "JSON ring file at PATH plus an OpenMetrics text sibling "
+            "(PATH with a .prom suffix), refreshed every "
+            "--metrics-interval seconds; view with 'repro metrics PATH'"
+        ),
+    )
+    sub.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="seconds between metrics snapshots (default 1.0)",
     )
 
 
@@ -301,6 +332,18 @@ def build_parser() -> argparse.ArgumentParser:
             "document at PATH"
         ),
     )
+    _add_metrics_arguments(sub)
+    sub.add_argument(
+        "action",
+        nargs="*",
+        default=[],
+        metavar="history RESULTS...",
+        help=(
+            "optional subcommand: 'history RESULTS...' folds any number "
+            "of BENCH_*.json payloads into per-case timelines with "
+            "regression flagging against the baseline"
+        ),
+    )
 
     sub = subparsers.add_parser(
         "check",
@@ -353,20 +396,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub = subparsers.add_parser(
         "trace",
-        help="inspect a recorded repro-trace/v1 document",
+        help="inspect or diff recorded repro-trace/v1 documents",
         description=(
             "Render the span tree, self-time aggregate, slowest-job "
             "chart, and manifest summary of a trace recorded with "
-            "'repro run --trace' or 'repro bench --trace'."
+            "'repro run --trace' or 'repro bench --trace'.  "
+            "'repro trace diff A B' instead aligns two traces span by "
+            "span and reports per-span duration deltas (self-time "
+            "attributed) plus the manifest changes between the runs."
         ),
     )
-    sub.add_argument("file", help="path to the trace JSON document")
+    sub.add_argument(
+        "file",
+        nargs="+",
+        help=(
+            "path to the trace JSON document, or 'diff' followed by "
+            "two trace paths to compare"
+        ),
+    )
     sub.add_argument(
         "--top",
         type=int,
         default=10,
         metavar="N",
-        help="number of slowest jobs to chart (default 10)",
+        help=(
+            "number of slowest jobs to chart, or of span deltas to "
+            "list in diff mode (default 10)"
+        ),
     )
     sub.add_argument(
         "--depth",
@@ -379,6 +435,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--validate",
         action="store_true",
         help="check the document against the schema and exit (no render)",
+    )
+
+    sub = subparsers.add_parser(
+        "metrics",
+        help="inspect a repro-metrics/v1 ring file",
+        description=(
+            "Summarize a metrics ring file written by --metrics: "
+            "snapshot count and span, the latest engine progress, and "
+            "the latest snapshot's counters and gauges."
+        ),
+    )
+    sub.add_argument("file", help="path to the metrics JSON document")
+    sub.add_argument(
+        "--validate",
+        action="store_true",
+        help="check the document against the schema and exit (no render)",
+    )
+    sub.add_argument(
+        "--prom",
+        action="store_true",
+        help="print the latest snapshot as OpenMetrics text instead",
     )
     return parser
 
@@ -414,20 +491,33 @@ def _execute_spec(spec, args):
     """
     engine = _engine_from_args(args)
     trace_path = getattr(args, "trace", None)
-    if trace_path is None:
+    metrics_path = getattr(args, "metrics", None)
+    if trace_path is None and metrics_path is None:
         return run_spec(spec, engine=engine)
     recorder = Recorder()
     reporter = TraceReporter(inner=engine.progress)
     engine.progress = reporter
+    # One recorder feeds everything: the trace document, the live
+    # metrics exporter, and the resource sampler's gauges.
     with trace.recording(recorder):
-        result = run_spec(spec, engine=engine)
-    manifest = build_manifest(
-        spec=spec,
-        rows=reporter.rows,
-        extra={"command": "run", "elapsed": reporter.elapsed},
-    )
-    written = write_trace(recorder.to_document(manifest=manifest), trace_path)
-    print(f"wrote trace {written}", file=sys.stderr)
+        with run_health(
+            recorder,
+            metrics_path=metrics_path,
+            interval=getattr(args, "metrics_interval", 1.0),
+        ):
+            result = run_spec(spec, engine=engine)
+    if metrics_path is not None:
+        print(f"wrote metrics {metrics_path}", file=sys.stderr)
+    if trace_path is not None:
+        manifest = build_manifest(
+            spec=spec,
+            rows=reporter.rows,
+            extra={"command": "run", "elapsed": reporter.elapsed},
+        )
+        written = write_trace(
+            recorder.to_document(manifest=manifest), trace_path
+        )
+        print(f"wrote trace {written}", file=sys.stderr)
     return result
 
 
@@ -501,24 +591,107 @@ def _run_check(args) -> int:
     return 0 if report.ok else 1
 
 
-def _view_trace(args) -> int:
+def _load_trace(path: str) -> tuple[dict | None, int]:
+    """Read + validate one trace document; ``(payload, exit_code)``."""
     try:
-        payload = json.loads(pathlib.Path(args.file).read_text())
+        payload = json.loads(pathlib.Path(path).read_text())
     except FileNotFoundError:
-        print(f"error: trace file not found: {args.file}", file=sys.stderr)
-        return 2
+        print(f"error: trace file not found: {path}", file=sys.stderr)
+        return None, 2
     except (OSError, json.JSONDecodeError) as exc:
         print(f"error: cannot read trace: {exc}", file=sys.stderr)
-        return 2
+        return None, 2
     try:
         validate_trace(payload)
     except ReproError as exc:
         print(f"error: invalid trace document: {exc}", file=sys.stderr)
-        return 1
+        return None, 1
+    return payload, 0
+
+
+def _view_trace(args) -> int:
+    files = args.file
+    if files[0] == "diff":
+        if len(files) != 3:
+            print(
+                "error: 'repro trace diff' takes exactly two trace files",
+                file=sys.stderr,
+            )
+            return 2
+        payload_a, code = _load_trace(files[1])
+        if payload_a is None:
+            return code
+        payload_b, code = _load_trace(files[2])
+        if payload_b is None:
+            return code
+        print(render_diff(diff_traces(payload_a, payload_b), top=args.top))
+        return 0
+    if len(files) != 1:
+        print(
+            "error: 'repro trace' views one file (or 'diff A B')",
+            file=sys.stderr,
+        )
+        return 2
+    payload, code = _load_trace(files[0])
+    if payload is None:
+        return code
     if args.validate:
-        print(f"{args.file}: valid repro-trace/v1 document")
+        print(f"{files[0]}: valid repro-trace/v1 document")
         return 0
     print(render_trace(payload, top=args.top, max_depth=args.depth))
+    return 0
+
+
+def _view_metrics(args) -> int:
+    try:
+        payload = json.loads(pathlib.Path(args.file).read_text())
+    except FileNotFoundError:
+        print(f"error: metrics file not found: {args.file}", file=sys.stderr)
+        return 2
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read metrics: {exc}", file=sys.stderr)
+        return 2
+    try:
+        validate_metrics(payload)
+    except ReproError as exc:
+        print(f"error: invalid metrics document: {exc}", file=sys.stderr)
+        return 1
+    if args.validate:
+        print(f"{args.file}: valid repro-metrics/v1 document")
+        return 0
+    snapshots = payload["snapshots"]
+    if not snapshots:
+        print("metrics ring is empty (run ended before the first tick)")
+        return 0
+    latest = snapshots[-1]
+    if args.prom:
+        print(render_openmetrics(latest), end="")
+        return 0
+    first_ts = float(snapshots[0]["ts_unix"])
+    last_ts = float(latest["ts_unix"])
+    print(
+        f"metrics {payload['schema']}: {len(snapshots)} snapshot(s) "
+        f"over {last_ts - first_ts:.1f}s "
+        f"(interval {payload['interval_s']:g}s, ring {payload['ring']})"
+    )
+    progress = latest.get("progress")
+    if progress:
+        parts = [
+            f"{int(progress.get('completed', 0))}/"
+            f"{int(progress.get('total', 0))} jobs",
+            f"{int(progress.get('cached', 0))} cached",
+        ]
+        if "rate_jobs_per_s" in progress:
+            parts.append(f"{progress['rate_jobs_per_s']:.2f} jobs/s")
+        if "eta_s" in progress:
+            parts.append(f"eta {progress['eta_s']:.1f}s")
+        print("progress: " + "  ".join(parts))
+    for section in ("counters", "gauges"):
+        metrics = latest.get(section) or {}
+        if metrics:
+            print(f"{section}:")
+            for name, value in sorted(metrics.items()):
+                print(f"  {name:<40} {value:g}")
     return 0
 
 
@@ -535,6 +708,8 @@ def main(argv=None) -> int:
         return _run_check(args)
     if args.experiment == "trace":
         return _view_trace(args)
+    if args.experiment == "metrics":
+        return _view_metrics(args)
     if args.experiment == "bench":
         # Imported lazily: the benchmark definitions import data
         # generators and attacks the other subcommands never need.

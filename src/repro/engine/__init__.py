@@ -140,12 +140,20 @@ class Engine:
             executor=type(self.executor).__name__,
             workers=getattr(self.executor, "workers", 1),
         ) as run_span:
+            # Heartbeat gauges: the live progress surface the metrics
+            # exporter derives rate/ETA from.  Last-value-wins, so a
+            # mid-run snapshot always sees a consistent triple.
+            trace.gauge("engine.jobs.total", float(total))
+            trace.gauge("engine.jobs.completed", 0.0)
+            trace.gauge("engine.jobs.cached", 0.0)
             for index, spec in enumerate(specs):
                 hit = self.cache.get(spec) if self.cache is not None else None
                 if hit is not None:
                     results[index] = hit
                     completed += 1
                     cached += 1
+                    trace.gauge("engine.jobs.completed", float(completed))
+                    trace.gauge("engine.jobs.cached", float(cached))
                     if trace.enabled():
                         # A zero-length span keeps per-job provenance
                         # uniform: cache hits appear in the trace with
@@ -170,6 +178,7 @@ class Engine:
                 def on_done(result: JobResult) -> None:
                     nonlocal completed
                     completed += 1
+                    trace.gauge("engine.jobs.completed", float(completed))
                     # Persist immediately so a later job failure (or an
                     # interrupt) does not discard work already finished.
                     # Failed results (fail_fast=False drains) carry no

@@ -295,6 +295,25 @@ class ParallelExecutor(Executor):
             key: plane.array_for_hash(key) for key in sorted(available)
         }
 
+    @staticmethod
+    def _announce_workers(pool: _ProcessPool) -> None:
+        """Tell the resource sampler which PIDs are engine workers.
+
+        Called once the first chunks are submitted (the pool spawns its
+        processes lazily).  Announcing is unconditional and nearly free;
+        when no sampler is running the registry is simply never read.
+        """
+        from repro.telemetry.sampler import announce_workers
+
+        processes = getattr(pool, "_processes", None) or {}
+        pids = [
+            process.pid
+            for process in processes.values()
+            if process.pid is not None
+        ]
+        if pids:
+            announce_workers(pids)
+
     # ------------------------------------------------------------------
 
     def run(
@@ -331,6 +350,7 @@ class ParallelExecutor(Executor):
                     ): index
                     for index, batch in enumerate(chunks)
                 }
+                self._announce_workers(pool)
                 # Harvest in completion order so every finished chunk
                 # reaches the callback (and thus the cache) even when
                 # another chunk fails; the failure is re-raised only

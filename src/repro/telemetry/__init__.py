@@ -16,7 +16,13 @@ provides
 * **run manifests** (:mod:`~repro.telemetry.manifest`): spec hash, seed
   lineage, git revision, platform, package versions, per-job timings;
 * an ASCII **viewer** (:mod:`~repro.telemetry.viewer`) behind
-  ``repro trace <file>``.
+  ``repro trace <file>``;
+* a **run-health layer**: live metrics export to ``repro-metrics/v1``
+  ring files + OpenMetrics text (:mod:`~repro.telemetry.exporter`),
+  ``/proc``-based worker resource sampling
+  (:mod:`~repro.telemetry.sampler`), cross-run trace diffing
+  (:mod:`~repro.telemetry.diff`), and bench-history timelines
+  (:mod:`~repro.telemetry.history`).
 
 Typical use::
 
@@ -36,6 +42,18 @@ import pathlib
 from typing import Any
 
 from repro.telemetry import trace
+from repro.telemetry.diff import diff_traces, render_diff
+from repro.telemetry.exporter import (
+    MetricsExporter,
+    RunHealth,
+    render_openmetrics,
+    run_health,
+)
+from repro.telemetry.history import (
+    HISTORY_SCHEMA,
+    build_history,
+    render_history,
+)
 from repro.telemetry.manifest import (
     MANIFEST_KIND,
     build_manifest,
@@ -45,23 +63,42 @@ from repro.telemetry.manifest import (
     spec_fingerprint,
 )
 from repro.telemetry.recorder import Recorder
-from repro.telemetry.schema import TRACE_SCHEMA, validate_trace
+from repro.telemetry.sampler import ResourceSampler, sampling_supported
+from repro.telemetry.schema import (
+    METRICS_SCHEMA,
+    TRACE_SCHEMA,
+    validate_metrics,
+    validate_trace,
+)
 from repro.telemetry.spans import Span
 from repro.telemetry.viewer import format_seconds, render_trace
 
 __all__ = [
+    "HISTORY_SCHEMA",
     "MANIFEST_KIND",
+    "METRICS_SCHEMA",
+    "MetricsExporter",
     "Recorder",
+    "ResourceSampler",
+    "RunHealth",
     "Span",
     "TRACE_SCHEMA",
+    "build_history",
     "build_manifest",
+    "diff_traces",
     "format_seconds",
     "git_revision",
     "package_versions",
     "platform_info",
+    "render_diff",
+    "render_history",
+    "render_openmetrics",
     "render_trace",
+    "run_health",
+    "sampling_supported",
     "spec_fingerprint",
     "trace",
+    "validate_metrics",
     "validate_trace",
     "write_trace",
 ]

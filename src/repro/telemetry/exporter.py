@@ -1,0 +1,338 @@
+"""Live metrics export: periodic ``repro-metrics/v1`` + OpenMetrics files.
+
+While a run executes, a :class:`MetricsExporter` thread periodically
+snapshots the active :class:`~repro.telemetry.recorder.Recorder` —
+every counter and gauge, plus engine progress/ETA derived from the
+``engine.jobs.*`` heartbeat gauges — and writes two sibling files:
+
+* ``PATH``: a validated ``repro-metrics/v1`` JSON *ring* document
+  holding the most recent snapshots (bounded, so a multi-hour sweep
+  never grows the file without limit), rewritten atomically each tick;
+* ``PATH``'s ``.prom`` sibling: the latest snapshot rendered as
+  OpenMetrics-style text, scrapeable by anything that speaks the
+  Prometheus exposition format.
+
+``tail -f`` the ``.prom`` file or poll the JSON from a dashboard — no
+server, no dependencies, no change to the run's results.  The
+:func:`run_health` context manager composes the exporter with a
+:class:`~repro.telemetry.sampler.ResourceSampler` so one ``with`` block
+gives a run live metrics *and* worker resource gauges.
+
+All clock reads go through :mod:`repro.telemetry._clock`; the
+``wall-clock`` check rule covers this module.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import pathlib
+import re
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.exceptions import ValidationError
+from repro.telemetry._clock import mono_now, wall_now
+from repro.telemetry.recorder import Recorder
+from repro.telemetry.sampler import ResourceSampler, sampling_supported
+from repro.telemetry.schema import METRICS_SCHEMA, validate_metrics
+
+__all__ = [
+    "MetricsExporter",
+    "RunHealth",
+    "render_openmetrics",
+    "run_health",
+]
+
+#: Default seconds between metric snapshots.
+DEFAULT_INTERVAL = 1.0
+
+#: Default ring size: how many snapshots the JSON document retains.
+DEFAULT_RING = 64
+
+#: Characters OpenMetrics metric names may not contain.
+_METRIC_NAME_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str) -> str:
+    """Sanitize a counter/gauge name into an OpenMetrics metric name."""
+    return "repro_" + _METRIC_NAME_BAD.sub("_", name)
+
+
+def render_openmetrics(snapshot: dict[str, Any]) -> str:
+    """One snapshot as OpenMetrics-style exposition text.
+
+    Counters render as ``repro_<name>_total`` with ``# TYPE ...
+    counter``; gauges as ``repro_<name>`` with ``# TYPE ... gauge``;
+    the derived progress block (when present) as ``repro_engine_*``
+    gauges.  The output ends with the ``# EOF`` marker the format
+    requires.
+    """
+    lines: list[str] = []
+    ts = snapshot.get("ts_unix")
+    if isinstance(ts, (int, float)):
+        lines.append(f"# repro-metrics snapshot at {float(ts):.3f}")
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = _metric_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value:g}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value:g}")
+    progress = snapshot.get("progress")
+    if isinstance(progress, dict):
+        for field, value in sorted(progress.items()):
+            metric = _metric_name(f"engine.progress.{field}")
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {value:g}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+class MetricsExporter:
+    """Background thread writing periodic metrics snapshots to disk.
+
+    Parameters
+    ----------
+    recorder:
+        The recorder to snapshot (counters, gauges, heartbeat).
+    path:
+        Target of the ``repro-metrics/v1`` JSON ring document; the
+        OpenMetrics text lands next to it as ``<stem>.prom``.
+    interval:
+        Seconds between snapshots (default 1.0).
+    ring:
+        Maximum snapshots retained in the JSON document (default 64);
+        older snapshots roll off the front.
+    """
+
+    def __init__(
+        self,
+        recorder: Recorder,
+        path: str | os.PathLike[str],
+        *,
+        interval: float = DEFAULT_INTERVAL,
+        ring: int = DEFAULT_RING,
+    ) -> None:
+        if not isinstance(interval, (int, float)) or interval <= 0:
+            raise ValidationError(
+                f"exporter interval must be a positive number, got {interval!r}"
+            )
+        if not isinstance(ring, int) or ring < 1:
+            raise ValidationError(
+                f"exporter ring size must be a positive int, got {ring!r}"
+            )
+        self.recorder = recorder
+        self.path = pathlib.Path(path)
+        self.text_path = self.path.with_name(self.path.stem + ".prom")
+        self.interval = float(interval)
+        self.ring = ring
+        self._snapshots: deque[dict[str, Any]] = deque(maxlen=ring)
+        self._created_unix: float | None = None
+        self._started_mono: float | None = None
+        self._prev_mono: float | None = None
+        self._prev_completed: float | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._write_lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "MetricsExporter":
+        """Start the export thread (chainable)."""
+        if self._thread is not None:
+            raise ValidationError("exporter is already running")
+        self._started_mono = mono_now()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-metrics-exporter", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the thread and write one final snapshot (idempotent).
+
+        The final flush guarantees that even a run shorter than one
+        interval leaves a complete metrics file behind.
+        """
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._stop.set()
+            thread.join(timeout=5.0)
+        self.flush()
+
+    def __enter__(self) -> "MetricsExporter":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.flush()
+
+    # -- snapshots -----------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Build one snapshot of the recorder's current state."""
+        counters, gauges = self.recorder.metrics_view()
+        snapshot: dict[str, Any] = {
+            "ts_unix": wall_now(),
+            "counters": counters,
+            "gauges": gauges,
+        }
+        progress = self._progress(gauges)
+        if progress is not None:
+            snapshot["progress"] = progress
+        return snapshot
+
+    def _progress(
+        self, gauges: dict[str, float]
+    ) -> dict[str, float] | None:
+        """Engine progress/ETA derived from the heartbeat gauges.
+
+        Rate is measured between consecutive snapshots on the monotonic
+        clock, so a stalled run shows a decaying rate rather than the
+        whole-run average hiding the stall.
+        """
+        total = gauges.get("engine.jobs.total")
+        if total is None:
+            return None
+        completed = gauges.get("engine.jobs.completed", 0.0)
+        now = mono_now()
+        progress: dict[str, float] = {
+            "total": float(total),
+            "completed": float(completed),
+            "cached": float(gauges.get("engine.jobs.cached", 0.0)),
+        }
+        if self._started_mono is not None:
+            progress["elapsed_s"] = now - self._started_mono
+        if self._prev_mono is not None and self._prev_completed is not None:
+            dt = now - self._prev_mono
+            if dt > 0:
+                rate = (completed - self._prev_completed) / dt
+                progress["rate_jobs_per_s"] = rate
+                remaining = float(total) - float(completed)
+                if rate > 0 and remaining >= 0:
+                    progress["eta_s"] = remaining / rate
+        self._prev_mono = now
+        self._prev_completed = float(completed)
+        return progress
+
+    def document(self) -> dict[str, Any]:
+        """The current ``repro-metrics/v1`` ring document."""
+        snapshots = list(self._snapshots)
+        created = self._created_unix
+        updated = snapshots[-1]["ts_unix"] if snapshots else created
+        return {
+            "schema": METRICS_SCHEMA,
+            "created_unix": created if created is not None else wall_now(),
+            "updated_unix": updated if updated is not None else wall_now(),
+            "interval_s": self.interval,
+            "ring": self.ring,
+            "snapshots": snapshots,
+        }
+
+    def flush(self) -> dict[str, Any]:
+        """Take a snapshot and (re)write both files atomically.
+
+        Returns the snapshot taken.  Serialized under a lock so the
+        periodic thread and a caller-side :meth:`stop` never interleave
+        partial writes.
+        """
+        with self._write_lock:
+            snapshot = self.snapshot()
+            if self._created_unix is None:
+                self._created_unix = float(snapshot["ts_unix"])
+            self._snapshots.append(snapshot)
+            document = validate_metrics(self.document())
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            tmp.write_text(
+                json.dumps(document, indent=2, allow_nan=False) + "\n"
+            )
+            os.replace(tmp, self.path)
+            self.text_path.write_text(render_openmetrics(snapshot))
+        return snapshot
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsExporter(path={str(self.path)!r}, "
+            f"interval={self.interval}, ring={self.ring})"
+        )
+
+
+@dataclass
+class RunHealth:
+    """Handles of an active :func:`run_health` block.
+
+    Attributes
+    ----------
+    exporter:
+        The metrics exporter, or ``None`` when no metrics path was
+        requested.
+    sampler:
+        The resource sampler, or ``None`` when resource sampling was
+        disabled or unsupported on this platform.
+    """
+
+    exporter: MetricsExporter | None
+    sampler: ResourceSampler | None
+
+
+@contextlib.contextmanager
+def run_health(
+    recorder: Recorder,
+    *,
+    metrics_path: str | os.PathLike[str] | None = None,
+    interval: float = DEFAULT_INTERVAL,
+    sample_resources: bool = True,
+    sampler_interval: float = 0.2,
+) -> Iterator[RunHealth]:
+    """Run-health harness: metrics export + resource sampling, composed.
+
+    Parameters
+    ----------
+    recorder:
+        The recorder the run records into (activate it separately with
+        :func:`repro.telemetry.trace.recording`).
+    metrics_path:
+        Target for the ``repro-metrics/v1`` ring file; ``None`` skips
+        the exporter entirely (resource gauges still land in the
+        recorder, and therefore in a ``--trace`` document).
+    interval:
+        Exporter snapshot cadence in seconds.
+    sample_resources:
+        Start a :class:`~repro.telemetry.sampler.ResourceSampler`
+        alongside (no-op where ``/proc`` is unavailable).
+    sampler_interval:
+        Resource sampling cadence in seconds.
+
+    Yields
+    ------
+    RunHealth
+        The active exporter/sampler handles (either may be ``None``).
+
+    On exit the sampler stops first — taking its final sample — and the
+    exporter flushes last, so the final metrics snapshot includes the
+    final resource gauges.
+    """
+    sampler: ResourceSampler | None = None
+    if sample_resources and sampling_supported():
+        sampler = ResourceSampler(recorder, interval=sampler_interval).start()
+    exporter: MetricsExporter | None = None
+    try:
+        if metrics_path is not None:
+            exporter = MetricsExporter(
+                recorder, metrics_path, interval=interval
+            ).start()
+        yield RunHealth(exporter=exporter, sampler=sampler)
+    finally:
+        if sampler is not None:
+            sampler.stop()
+        if exporter is not None:
+            exporter.stop()

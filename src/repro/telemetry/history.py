@@ -1,0 +1,159 @@
+"""Bench history: fold ``repro-bench/v1`` payloads into per-case timelines.
+
+``repro bench history RESULTS...`` reads any number of ``BENCH_*.json``
+payloads (a nightly directory, CI artifacts, ad-hoc local runs), orders
+them by ``created_unix``, and builds one timeline per benchmark case —
+so "is ``hotpath.em_recon.large`` drifting" is one command over the
+files that already exist instead of a spreadsheet.  The result is a
+``repro-bench-history/v1`` document; when a baseline payload is
+supplied (by default the committed ``benchmarks/baselines/`` one), each
+case's *latest* headline time is compared against it and flagged when
+it regresses beyond the ratio the bench gate already uses.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import ValidationError
+
+__all__ = ["HISTORY_SCHEMA", "build_history", "render_history"]
+
+#: Version tag of the history document this module produces.
+HISTORY_SCHEMA = "repro-bench-history/v1"
+
+#: ``latest / baseline`` above this flags a case as regressed (matches
+#: the bench runner's default gate).
+DEFAULT_REGRESSION_RATIO = 1.5
+
+#: Characters for the per-case trend sparkline, slow to fast.
+_SPARK_LEVELS = " .:-=+*#%"
+
+
+def build_history(
+    payloads: list[dict[str, Any]],
+    *,
+    baseline: dict[str, Any] | None = None,
+    regression_ratio: float = DEFAULT_REGRESSION_RATIO,
+) -> dict[str, Any]:
+    """Fold bench payloads into a per-case timeline document.
+
+    Parameters
+    ----------
+    payloads:
+        Parsed ``repro-bench/v1`` payloads, in any order; they are
+        sorted by ``created_unix`` internally.
+    baseline:
+        Optional baseline payload; each case's latest ``seconds_min``
+        is compared against the baseline's.
+    regression_ratio:
+        ``latest / baseline`` above this marks the case regressed.
+
+    Returns
+    -------
+    dict
+        A ``repro-bench-history/v1`` document: per case a timeline of
+        ``{created_unix, seconds_min, seconds_mean}`` points plus
+        ``best_s``, ``latest_s``, the baseline comparison, and the
+        overall ``regressions`` list.
+    """
+    if not payloads:
+        raise ValidationError("bench history needs at least one payload")
+    for index, payload in enumerate(payloads):
+        if not isinstance(payload, dict) or "benchmarks" not in payload:
+            raise ValidationError(
+                f"payload {index} is not a repro-bench payload "
+                "(no 'benchmarks' key)"
+            )
+    ordered = sorted(
+        payloads, key=lambda p: float(p.get("created_unix", 0.0))
+    )
+    base_benchmarks: dict[str, Any] = (
+        baseline.get("benchmarks", {}) if baseline else {}
+    )
+
+    cases: dict[str, dict[str, Any]] = {}
+    for payload in ordered:
+        created = float(payload.get("created_unix", 0.0))
+        for name, entry in payload["benchmarks"].items():
+            case = cases.setdefault(name, {"timeline": []})
+            case["timeline"].append(
+                {
+                    "created_unix": created,
+                    "seconds_min": float(entry["seconds_min"]),
+                    "seconds_mean": float(entry["seconds_mean"]),
+                }
+            )
+
+    regressions: list[str] = []
+    for name, case in cases.items():
+        timeline = case["timeline"]
+        mins = [point["seconds_min"] for point in timeline]
+        case["runs"] = len(timeline)
+        case["best_s"] = min(mins)
+        case["latest_s"] = mins[-1]
+        base = base_benchmarks.get(name)
+        if base is not None:
+            baseline_s = float(base["seconds_min"])
+            case["baseline_s"] = baseline_s
+            ratio = (
+                mins[-1] / baseline_s if baseline_s > 0.0 else float("inf")
+            )
+            case["baseline_ratio"] = ratio
+            case["regressed"] = ratio > regression_ratio
+            if case["regressed"]:
+                regressions.append(name)
+        else:
+            case["baseline_s"] = None
+            case["baseline_ratio"] = None
+            case["regressed"] = False
+
+    return {
+        "schema": HISTORY_SCHEMA,
+        "runs": len(ordered),
+        "regression_ratio": regression_ratio,
+        "cases": dict(sorted(cases.items())),
+        "regressions": sorted(regressions),
+    }
+
+
+def _spark(values: list[float]) -> str:
+    """Fixed-height sparkline of a timeline (low char = fast run)."""
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    if high <= low:
+        return _SPARK_LEVELS[0] * len(values)
+    span = high - low
+    top = len(_SPARK_LEVELS) - 1
+    return "".join(
+        _SPARK_LEVELS[round((value - low) / span * top)] for value in values
+    )
+
+
+def render_history(history: dict[str, Any]) -> str:
+    """Render a history document as an ASCII table with sparklines."""
+    cases = history["cases"]
+    lines = [
+        f"bench history: {history['runs']} run(s), {len(cases)} case(s)",
+        f"{'case':<42} {'runs':>4} {'best':>9} {'latest':>9} "
+        f"{'vs base':>8}  trend",
+        "-" * 88,
+    ]
+    for name, case in cases.items():
+        ratio = case["baseline_ratio"]
+        versus = f"{ratio:>7.2f}x" if ratio is not None else "       -"
+        marker = "  << REGRESSION" if case["regressed"] else ""
+        spark = _spark(
+            [point["seconds_min"] for point in case["timeline"]]
+        )
+        lines.append(
+            f"{name:<42} {case['runs']:>4} {case['best_s']:>8.4f}s "
+            f"{case['latest_s']:>8.4f}s {versus}  {spark}{marker}"
+        )
+    if history["regressions"]:
+        lines.append(
+            f"{len(history['regressions'])} case(s) regressed beyond "
+            f"{history['regression_ratio']:.2f}x baseline"
+        )
+    return "\n".join(lines)

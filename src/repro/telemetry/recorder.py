@@ -118,6 +118,15 @@ class Recorder:
         with self._lock:
             self.gauges[name] = value
 
+    def metrics_view(self) -> tuple[dict[str, float], dict[str, float]]:
+        """Consistent copies of ``(counters, gauges)`` under the lock.
+
+        The metrics exporter's read path: a snapshot taken while other
+        threads are counting must never observe a dict mid-mutation.
+        """
+        with self._lock:
+            return dict(self.counters), dict(self.gauges)
+
     # ------------------------------------------------------------------
     # serialization
 

@@ -25,11 +25,19 @@ from typing import Any
 
 from repro.exceptions import ValidationError
 
-__all__ = ["TRACE_SCHEMA", "validate_trace"]
+__all__ = [
+    "METRICS_SCHEMA",
+    "TRACE_SCHEMA",
+    "validate_metrics",
+    "validate_trace",
+]
 
 #: Version tag of the trace document format.  Bump on incompatible
 #: layout changes; the validator only accepts this exact value.
 TRACE_SCHEMA = "repro-trace/v1"
+
+#: Version tag of the live-metrics ring document the exporter writes.
+METRICS_SCHEMA = "repro-metrics/v1"
 
 #: Span fields beyond these are rejected so typos ("durration") cannot
 #: silently ride along in a "valid" document.
@@ -155,5 +163,110 @@ def validate_trace(payload: Any) -> dict[str, Any]:
     if problems:
         raise ValidationError(
             "invalid repro-trace/v1 document: " + "; ".join(problems)
+        )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# repro-metrics/v1 (the exporter's ring document)
+
+#: Snapshot fields beyond these are rejected — same typo protection the
+#: span validator applies.
+_SNAPSHOT_FIELDS = {"ts_unix", "counters", "gauges", "progress"}
+
+#: Recognized keys of a snapshot's derived ``progress`` block.
+_PROGRESS_FIELDS = {
+    "total",
+    "completed",
+    "cached",
+    "elapsed_s",
+    "rate_jobs_per_s",
+    "eta_s",
+}
+
+
+def _check_snapshot(
+    snapshot: Any, path: str, problems: list[str]
+) -> None:
+    if not isinstance(snapshot, dict):
+        problems.append(
+            f"{path}: snapshot must be a dict, got {type(snapshot).__name__}"
+        )
+        return
+    unknown = sorted(set(snapshot) - _SNAPSHOT_FIELDS)
+    if unknown:
+        problems.append(f"{path}: unknown snapshot field(s) {unknown}")
+    if not _is_number(snapshot.get("ts_unix")):
+        problems.append(f"{path}: 'ts_unix' must be a number")
+    _check_metrics(snapshot, "counters", problems)
+    _check_metrics(snapshot, "gauges", problems)
+    progress = snapshot.get("progress")
+    if progress is None:
+        return
+    if not isinstance(progress, dict):
+        problems.append(f"{path}: 'progress' must be a dict or absent")
+        return
+    unknown = sorted(set(progress) - _PROGRESS_FIELDS)
+    if unknown:
+        problems.append(f"{path}: unknown progress field(s) {unknown}")
+    for field, value in progress.items():
+        if field in _PROGRESS_FIELDS and not _is_number(value):
+            problems.append(
+                f"{path}: progress[{field!r}] must be a number"
+            )
+
+
+def validate_metrics(payload: Any) -> dict[str, Any]:
+    """Structurally validate a ``repro-metrics/v1`` ring document.
+
+    Parameters
+    ----------
+    payload:
+        The parsed JSON document.
+
+    Returns
+    -------
+    dict
+        The payload itself, when valid.
+
+    Raises
+    ------
+    ValidationError
+        Listing every structural problem found.
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        raise ValidationError(
+            f"metrics document must be a dict, got {type(payload).__name__}"
+        )
+    schema = payload.get("schema")
+    if schema != METRICS_SCHEMA:
+        problems.append(
+            f"'schema' must be {METRICS_SCHEMA!r}, got {schema!r}"
+        )
+    for field in ("created_unix", "updated_unix"):
+        if not _is_number(payload.get(field)):
+            problems.append(f"'{field}' must be a number")
+    interval = payload.get("interval_s")
+    if not _is_number(interval) or interval <= 0:
+        problems.append("'interval_s' must be a positive number")
+    ring = payload.get("ring")
+    if not isinstance(ring, int) or isinstance(ring, bool) or ring < 1:
+        problems.append("'ring' must be a positive integer")
+    snapshots = payload.get("snapshots")
+    if not isinstance(snapshots, list):
+        problems.append("'snapshots' must be a list")
+    else:
+        if isinstance(ring, int) and not isinstance(ring, bool) and ring >= 1:
+            if len(snapshots) > ring:
+                problems.append(
+                    f"'snapshots' holds {len(snapshots)} entries, more "
+                    f"than the declared ring size {ring}"
+                )
+        for index, snapshot in enumerate(snapshots):
+            _check_snapshot(snapshot, f"snapshots[{index}]", problems)
+    if problems:
+        raise ValidationError(
+            "invalid repro-metrics/v1 document: " + "; ".join(problems)
         )
     return payload

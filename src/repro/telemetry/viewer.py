@@ -15,7 +15,7 @@ from typing import Any
 from repro.exceptions import ValidationError
 from repro.telemetry.spans import Span
 
-__all__ = ["render_trace", "format_seconds"]
+__all__ = ["render_trace", "format_seconds", "format_bytes"]
 
 #: Span attributes surfaced inline in the tree view, in display order.
 _TREE_ATTRS = (
@@ -38,6 +38,70 @@ def format_seconds(seconds: float) -> str:
     if seconds >= 1e-3:
         return f"{seconds * 1e3:.1f}ms"
     return f"{seconds * 1e6:.0f}us"
+
+
+def format_bytes(count: float) -> str:
+    """Human-scaled byte count: ``1.5GiB`` / ``23.4MiB`` / ``512B``."""
+    count = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(count) < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{count:.0f}B"
+            return f"{count:.1f}{unit}"
+        count /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def _render_resources(gauges: dict[str, Any]) -> list[str]:
+    """The ``resources:`` section from ``resource.*`` gauges, if any.
+
+    Lines: parent RSS peak / CPU, worker aggregate, shm peak, then a
+    per-worker table keyed by the same PIDs the ``engine.job`` spans
+    carry in their ``worker`` attribute.
+    """
+    resource = {
+        name[len("resource."):]: value
+        for name, value in gauges.items()
+        if name.startswith("resource.")
+    }
+    if not resource:
+        return []
+    lines = ["", "resources:"]
+    if "rss_peak_bytes" in resource:
+        cpu = resource.get("cpu_seconds")
+        lines.append(
+            f"  parent   rss peak {format_bytes(resource['rss_peak_bytes'])}"
+            + (f"  cpu {format_seconds(cpu)}" if cpu is not None else "")
+        )
+    if "workers.rss_peak_bytes" in resource:
+        cpu = resource.get("workers.cpu_seconds")
+        lines.append(
+            "  workers  rss peak "
+            f"{format_bytes(resource['workers.rss_peak_bytes'])}"
+            + (f"  cpu {format_seconds(cpu)}" if cpu is not None else "")
+        )
+    if "shm_peak_bytes" in resource:
+        lines.append(
+            "  shm      peak "
+            f"{format_bytes(resource['shm_peak_bytes'])}"
+            f"  (live {format_bytes(resource.get('shm_bytes', 0.0))})"
+        )
+    workers: dict[str, dict[str, float]] = {}
+    for name, value in resource.items():
+        if name.startswith("worker."):
+            pid, _, field = name[len("worker."):].partition(".")
+            workers.setdefault(pid, {})[field] = float(value)
+    if workers:
+        lines.append(f"  {'worker pid':<12} {'rss peak':>10} {'cpu':>9}")
+        for pid in sorted(workers, key=lambda p: int(p) if p.isdigit() else 0):
+            stats = workers[pid]
+            rss = stats.get("rss_peak_bytes", 0.0)
+            cpu = stats.get("cpu_seconds", 0.0)
+            lines.append(
+                f"  {pid:<12} {format_bytes(rss):>10} "
+                f"{format_seconds(cpu):>9}"
+            )
+    return lines
 
 
 def _format_attr(key: str, value: Any) -> str:
@@ -148,13 +212,22 @@ def render_trace(
             )
         )
     gauges = payload.get("gauges") or {}
-    if gauges:
+    # resource.* gauges get their own formatted section below; dumping
+    # dozens of raw byte counts onto the gauges line would drown it.
+    plain_gauges = {
+        name: value
+        for name, value in gauges.items()
+        if not name.startswith("resource.")
+    }
+    if plain_gauges:
         lines.append(
             "gauges:   "
             + "  ".join(
-                f"{name}={value:g}" for name, value in sorted(gauges.items())
+                f"{name}={value:g}"
+                for name, value in sorted(plain_gauges.items())
             )
         )
+    lines.extend(_render_resources(gauges))
 
     if not roots:
         lines.append("")

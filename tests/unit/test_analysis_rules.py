@@ -158,6 +158,64 @@ class TestWallClock:
         assert not fired(report, "wall-clock")
         assert report.suppressed
 
+    def test_exporter_module_in_scope(self, tmp_path):
+        # The run-health modules carry kernel-grade clock discipline:
+        # a direct time read in the exporter is a finding.
+        report = check_snippet(
+            tmp_path, self.TRIGGER, module="repro.telemetry.exporter"
+        )
+        assert fired(report, "wall-clock")
+
+    def test_sampler_module_in_scope(self, tmp_path):
+        report = check_snippet(
+            tmp_path,
+            """
+            from time import monotonic
+
+            def sample():
+                return monotonic()
+            """,
+            module="repro.telemetry.sampler",
+        )
+        assert fired(report, "wall-clock")
+
+    def test_diff_and_history_modules_in_scope(self, tmp_path):
+        for module in (
+            "repro.telemetry.diff",
+            "repro.telemetry.history",
+        ):
+            report = check_snippet(tmp_path, self.TRIGGER, module=module)
+            assert fired(report, "wall-clock"), module
+
+    def test_clock_shim_module_is_exempt(self, tmp_path):
+        # The _clock shims are the sanctioned touch point: direct reads
+        # there are the whole point and must not fire.
+        report = check_snippet(
+            tmp_path,
+            """
+            import time
+
+            def wall_now():
+                return time.time()
+            """,
+            module="repro.telemetry._clock",
+        )
+        assert not fired(report, "wall-clock")
+
+    def test_runhealth_clean_via_shims(self, tmp_path):
+        report = check_snippet(
+            tmp_path,
+            """
+            from repro.telemetry._clock import mono_now, wall_now
+
+            def snapshot():
+                return {"ts_unix": wall_now(), "mono": mono_now()}
+            """,
+            module="repro.telemetry.exporter",
+        )
+        assert not fired(report, "wall-clock")
+        assert report.ok
+
 
 class TestNdarrayEq:
     def test_frozen_dataclass_with_array_field_triggers(self, tmp_path):

@@ -465,6 +465,88 @@ class TestViewer:
         assert not target.exists()
 
 
+class TestViewerEdgeCases:
+    """Degenerate documents the viewer must render without crashing."""
+
+    def test_empty_trace(self):
+        recorder = Recorder()
+        text = render_trace(recorder.to_document())
+        assert "(no spans recorded)" in text
+
+    def test_all_cached_zero_duration_spans(self):
+        # A fully-cached rerun: every engine.job is a zero-length
+        # provenance marker, so the percentage column divides by a
+        # zero total and the slowest-job chart ranks zero-height bars.
+        recorder = Recorder()
+        with trace.recording(recorder):
+            with trace.span("engine.run", jobs=2) as run:
+                for index in range(2):
+                    with trace.span(
+                        "engine.job",
+                        key=f"k{index}",
+                        cached=True,
+                        original_duration=1.5,
+                    ) as job:
+                        pass
+                    job.duration = 0.0
+            run.duration = 0.0
+        document = recorder.to_document()
+        validate_trace(document)
+        text = render_trace(document)
+        assert "engine.job" in text
+        assert "cached=True" in text
+
+    def test_adopted_fragment_with_missing_parent(self):
+        # A worker fragment adopted after its engine.run span already
+        # closed (e.g. late-arriving straggler): it becomes an extra
+        # root and must render as its own tree.
+        recorder = Recorder()
+        worker = Recorder()
+        with trace.recording(worker):
+            with trace.span("engine.job", key="orphan", worker=12345):
+                pass
+        with trace.recording(recorder):
+            with trace.span("engine.run"):
+                pass
+            recorder.adopt(worker.export_fragment())
+        document = recorder.to_document()
+        validate_trace(document)
+        assert len(document["spans"]) == 2
+        text = render_trace(document)
+        assert "engine.run" in text
+        assert "worker=12345" in text
+
+    def test_format_bytes_units(self):
+        from repro.telemetry.viewer import format_bytes
+
+        assert format_bytes(512) == "512B"
+        assert format_bytes(2048) == "2.0KiB"
+        assert format_bytes(3 * 1024**2) == "3.0MiB"
+        assert format_bytes(1.5 * 1024**3) == "1.5GiB"
+
+    def test_resource_gauges_render_as_section(self):
+        recorder = Recorder()
+        recorder.gauge("engine.workers", 2.0)
+        recorder.gauge("resource.rss_peak_bytes", 64.0 * 1024**2)
+        recorder.gauge("resource.cpu_seconds", 1.25)
+        recorder.gauge("resource.shm_peak_bytes", 1024.0**2)
+        recorder.gauge("resource.shm_bytes", 0.0)
+        recorder.gauge("resource.worker.123.rss_peak_bytes", 32.0 * 1024**2)
+        recorder.gauge("resource.worker.123.cpu_seconds", 0.5)
+        text = render_trace(recorder.to_document())
+        assert "resources:" in text
+        assert "64.0MiB" in text
+        # The raw byte gauges stay off the generic gauges line.
+        gauges_line = next(
+            line for line in text.splitlines() if line.startswith("gauges:")
+        )
+        assert "resource." not in gauges_line
+        assert "engine.workers=2" in gauges_line
+        # Per-worker table row keyed by PID.
+        assert "123" in text
+        assert "32.0MiB" in text
+
+
 # ----------------------------------------------------------------------
 # overhead budget
 

@@ -1,0 +1,255 @@
+"""Unit tests for cross-run trace diffing and bench history.
+
+Diff alignment is the load-bearing property: spans must pair up by
+cache key / case name across runs regardless of sibling order, deltas
+must attribute to self-time, and manifest provenance changes must
+surface field by field.  History folds bench payloads into per-case
+timelines ordered by creation time with baseline regression flagging.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.telemetry import (
+    HISTORY_SCHEMA,
+    Span,
+    build_history,
+    diff_traces,
+    render_diff,
+    render_history,
+)
+
+
+def _span(name, duration, children=(), **attrs):
+    span = Span(name, attrs)
+    span.start_unix = 1000.0
+    span.duration = float(duration)
+    span.children.extend(children)
+    return span
+
+
+def _trace(roots, *, counters=None, manifest=None):
+    return {
+        "schema": "repro-trace/v1",
+        "created_unix": 1000.0,
+        "spans": [root.to_dict() for root in roots],
+        "counters": counters or {},
+        "gauges": {},
+        "manifest": manifest,
+    }
+
+
+def _run(job_durations, *, order=None, manifest=None, counters=None):
+    """A run span with one keyed engine.job child per entry."""
+    jobs = [
+        _span("engine.job", duration, key=key, cached=False)
+        for key, duration in job_durations.items()
+    ]
+    if order is not None:
+        jobs = [jobs[i] for i in order]
+    root = _span("engine.run", sum(j.duration for j in jobs) + 0.01,
+                 children=jobs)
+    return _trace([root], manifest=manifest, counters=counters)
+
+
+class TestDiffAlignment:
+    def test_same_trace_has_no_deltas(self):
+        payload = _run({"a": 0.1, "b": 0.2})
+        diff = diff_traces(payload, payload)
+        assert all(row["status"] == "common" for row in diff["spans"])
+        assert all(row["delta"] == 0.0 for row in diff["spans"])
+        assert diff["counters"] == []
+        assert diff["manifest"] == []
+
+    def test_keyed_spans_align_across_sibling_order(self):
+        a = _run({"a": 0.1, "b": 0.2, "c": 0.3})
+        b = _run({"a": 0.1, "b": 0.5, "c": 0.3}, order=[2, 0, 1])
+        diff = diff_traces(a, b)
+        assert all(row["status"] == "common" for row in diff["spans"])
+        [changed] = [
+            row for row in diff["spans"] if row["delta_self"] != 0.0
+            and row["name"] == "engine.job"
+        ]
+        assert "[b]" in changed["path"]
+        assert changed["delta"] == pytest.approx(0.3)
+
+    def test_added_and_removed_spans(self):
+        a = _run({"a": 0.1, "b": 0.2})
+        b = _run({"a": 0.1, "c": 0.4})
+        diff = diff_traces(a, b)
+        by_status = {}
+        for row in diff["spans"]:
+            by_status.setdefault(row["status"], []).append(row["path"])
+        assert any("[b]" in path for path in by_status["removed"])
+        assert any("[c]" in path for path in by_status["added"])
+
+    def test_self_time_attribution(self):
+        # The child grew by 0.3 but the parent's own work is unchanged:
+        # the parent's *duration* delta is 0.3, its *self* delta 0.
+        child_a = _span("kernel", 0.1)
+        child_b = _span("kernel", 0.4)
+        a = _trace([_span("run", 0.5, children=[child_a])])
+        b = _trace([_span("run", 0.8, children=[child_b])])
+        diff = diff_traces(a, b)
+        parent = next(r for r in diff["spans"] if r["name"] == "run")
+        kernel = next(r for r in diff["spans"] if r["name"] == "kernel")
+        assert parent["delta"] == pytest.approx(0.3)
+        assert parent["delta_self"] == pytest.approx(0.0)
+        assert kernel["delta_self"] == pytest.approx(0.3)
+
+    def test_cached_flip_is_flagged(self):
+        a = _trace([_span("engine.job", 0.2, key="a", cached=False)])
+        b = _trace([_span("engine.job", 0.0, key="a", cached=True)])
+        diff = diff_traces(a, b)
+        [row] = diff["spans"]
+        assert row["cached_changed"] is True
+
+    def test_unkeyed_spans_align_by_occurrence_index(self):
+        a = _trace([_span("run", 0.3, children=[
+            _span("step", 0.1), _span("step", 0.2)])])
+        b = _trace([_span("run", 0.4, children=[
+            _span("step", 0.1), _span("step", 0.3)])])
+        diff = diff_traces(a, b)
+        steps = [r for r in diff["spans"] if r["name"] == "step"]
+        assert [r["status"] for r in steps] == ["common", "common"]
+        assert steps[0]["delta"] == pytest.approx(0.0)
+        assert steps[1]["delta"] == pytest.approx(0.1)
+
+    def test_counter_deltas(self):
+        a = _trace([], counters={"cache.hit": 2.0, "same": 1.0})
+        b = _trace([], counters={"cache.hit": 5.0, "same": 1.0})
+        diff = diff_traces(a, b)
+        [row] = diff["counters"]
+        assert row["name"] == "cache.hit"
+        assert row["delta"] == 3.0
+
+    def test_manifest_delta_fields(self):
+        manifest_a = {
+            "git_revision": "aaa",
+            "spec": {"hash": "h1", "seed": 7, "name": "s"},
+            "packages": {"numpy": "1.26.0", "repro": "1.0"},
+        }
+        manifest_b = {
+            "git_revision": "bbb",
+            "spec": {"hash": "h2", "seed": 7, "name": "s"},
+            "packages": {"numpy": "2.0.0", "repro": "1.0"},
+        }
+        diff = diff_traces(
+            _trace([], manifest=manifest_a),
+            _trace([], manifest=manifest_b),
+        )
+        changed = {c["field"]: (c["a"], c["b"]) for c in diff["manifest"]}
+        assert changed["git_revision"] == ("aaa", "bbb")
+        assert changed["spec.hash"] == ("h1", "h2")
+        assert changed["packages.numpy"] == ("1.26.0", "2.0.0")
+        assert "spec.seed" not in changed
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValidationError, match="trace A"):
+            diff_traces([], _trace([]))
+
+
+class TestRenderDiff:
+    def test_report_sections(self):
+        a = _run({"a": 0.1, "b": 0.2},
+                 manifest={"git_revision": "aaa"})
+        b = _run({"a": 0.1, "b": 0.5, "c": 0.3},
+                 manifest={"git_revision": "bbb"})
+        text = render_diff(diff_traces(a, b))
+        assert "trace diff (B - A)" in text
+        assert "total delta:" in text
+        assert "manifest changes:" in text
+        assert "'aaa' -> 'bbb'" in text
+        assert "only in B: 1 span(s)" in text
+
+    def test_identical_traces_report_no_differences(self):
+        payload = _run({"a": 0.1})
+        text = render_diff(diff_traces(payload, payload))
+        assert "(no differences)" in text
+
+
+def _bench(created, **cases):
+    return {
+        "schema": "repro-bench/v1",
+        "created_unix": created,
+        "benchmarks": {
+            name: {"seconds_min": s, "seconds_mean": s * 1.05}
+            for name, s in cases.items()
+        },
+    }
+
+
+class TestBuildHistory:
+    def test_orders_by_created_unix(self):
+        history = build_history(
+            [_bench(200.0, x=0.3), _bench(100.0, x=0.1)]
+        )
+        assert history["schema"] == HISTORY_SCHEMA
+        timeline = history["cases"]["x"]["timeline"]
+        assert [p["created_unix"] for p in timeline] == [100.0, 200.0]
+        assert history["cases"]["x"]["best_s"] == 0.1
+        assert history["cases"]["x"]["latest_s"] == 0.3
+
+    def test_regression_flagged_against_baseline(self):
+        history = build_history(
+            [_bench(1.0, x=0.1), _bench(2.0, x=0.2)],
+            baseline=_bench(0.0, x=0.1),
+        )
+        case = history["cases"]["x"]
+        assert case["baseline_ratio"] == pytest.approx(2.0)
+        assert case["regressed"] is True
+        assert history["regressions"] == ["x"]
+
+    def test_latest_not_history_minimum_decides(self):
+        # The case *was* slow mid-history but recovered: not a
+        # regression — only the latest run is judged.
+        history = build_history(
+            [_bench(1.0, x=0.5), _bench(2.0, x=0.1)],
+            baseline=_bench(0.0, x=0.1),
+        )
+        assert history["regressions"] == []
+
+    def test_no_baseline_never_regresses(self):
+        history = build_history([_bench(1.0, x=99.0)])
+        assert history["cases"]["x"]["baseline_s"] is None
+        assert history["regressions"] == []
+
+    def test_rejects_empty_and_malformed(self):
+        with pytest.raises(ValidationError, match="at least one"):
+            build_history([])
+        with pytest.raises(ValidationError, match="payload 0"):
+            build_history([{"nope": 1}])
+
+    def test_case_missing_from_some_runs(self):
+        history = build_history(
+            [_bench(1.0, x=0.1), _bench(2.0, x=0.1, y=0.2)]
+        )
+        assert history["cases"]["x"]["runs"] == 2
+        assert history["cases"]["y"]["runs"] == 1
+
+
+class TestRenderHistory:
+    def test_table_and_regression_marker(self):
+        history = build_history(
+            [_bench(1.0, x=0.1), _bench(2.0, x=0.3)],
+            baseline=_bench(0.0, x=0.1),
+        )
+        text = render_history(history)
+        assert "2 run(s), 1 case(s)" in text
+        assert "<< REGRESSION" in text
+        assert "3.00x" in text
+
+    def test_sparkline_tracks_shape(self):
+        history = build_history(
+            [_bench(float(i), x=s) for i, s in
+             enumerate([0.1, 0.1, 0.5])]
+        )
+        text = render_history(history)
+        row = next(line for line in text.splitlines()
+                   if line.startswith("x"))
+        spark = row.rstrip()[-3:]
+        # Two fast runs at the floor, one slow spike at the ceiling.
+        assert spark[0] == spark[1]
+        assert spark[2] != spark[0]
