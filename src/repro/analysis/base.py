@@ -262,6 +262,7 @@ RULES = RuleRegistry(
         "repro.analysis.rules.concurrency",
         "repro.analysis.rules.registry_contract",
         "repro.analysis.rules.shm_lifecycle",
+        "repro.analysis.rules.iter_hotpath",
     )
 )
 

@@ -14,6 +14,7 @@ catalog.  Current rules (key → module):
 ``float-eq``            :mod:`repro.analysis.rules.api_surface`
 ``bare-lock``           :mod:`repro.analysis.rules.concurrency`
 ``spec-signature``      :mod:`repro.analysis.rules.registry_contract`
+``iter-hotpath``        :mod:`repro.analysis.rules.iter_hotpath`
 ======================  =========================================
 """
 
@@ -22,6 +23,7 @@ from repro.analysis.rules import (  # noqa: F401  (registration imports)
     concurrency,
     dataclass_eq,
     determinism,
+    iter_hotpath,
     pickle_safety,
     registry_contract,
 )
@@ -31,6 +33,7 @@ __all__ = [
     "concurrency",
     "dataclass_eq",
     "determinism",
+    "iter_hotpath",
     "pickle_safety",
     "registry_contract",
 ]

@@ -209,6 +209,7 @@ class WallClockRule(Rule):
         "repro.telemetry.sampler",
         "repro.telemetry.diff",
         "repro.telemetry.history",
+        "repro.telemetry.watch",
     )
 
     def check(self, context: ModuleContext) -> Iterator[Finding]:

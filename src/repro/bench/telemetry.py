@@ -17,6 +17,11 @@ wraps.  Two cases make that budget measurable:
     isolation, for eyeballing how many calls fit inside 2% of any
     kernel's runtime.
 
+``telemetry.convergence.smoke`` / ``telemetry.tracker_overhead.smoke``
+    The EM fit with the per-iteration convergence tracker live, and 10k
+    disabled tracker hooks in isolation — the convergence layer's
+    enabled cost end-to-end and its disabled per-iteration cost.
+
 ``telemetry.em_runhealth.smoke``
     The same EM fit under the full run-health harness (recorder +
     metrics exporter + resource sampler), bounding the run-health
@@ -124,6 +129,62 @@ def bench_em_runhealth():
                 sampler_interval=0.1,
             ):
                 return workload()
+
+    return run
+
+
+@register_benchmark(
+    "telemetry.convergence.smoke",
+    group="telemetry",
+    tags=("smoke", "telemetry"),
+    params={"n_samples": 2000, "n_components": 2},
+)
+def bench_convergence():
+    """The EM fit with tracing on vs. the convergence layer's budget.
+
+    Same workload as ``telemetry.em_enabled.smoke`` but the recording
+    path now also runs the :class:`~repro.telemetry.convergence.
+    IterationTracker` every iteration (objective + delta record,
+    heartbeat gauges, payload attachment).  Comparing against
+    ``telemetry.em_disabled.smoke`` bounds the *combined* span +
+    tracker overhead; the <2% ceiling on the disabled path is asserted
+    by ``tests/unit/test_telemetry.py``.
+    """
+    from repro.telemetry import Recorder, trace
+
+    workload = _em_workload()
+
+    def run():
+        recorder = Recorder()
+        with trace.recording(recorder):
+            result = workload()
+        return result
+
+    return run
+
+
+@register_benchmark(
+    "telemetry.tracker_overhead.smoke",
+    group="telemetry",
+    tags=("smoke", "telemetry"),
+    params={"calls": 10_000},
+)
+def bench_tracker_overhead():
+    """10k disabled tracker hooks: the per-iteration cost in isolation.
+
+    The null tracker's ``enabled`` probe plus a ``record()`` call is
+    what every instrumented kernel iteration pays with tracing off;
+    this case keeps that number on the record next to
+    ``telemetry.span_overhead.smoke``.
+    """
+    from repro.telemetry import trace
+
+    def run():
+        with trace.disabled():
+            tracker = trace.iterations("noop")
+            for _ in range(10_000):
+                if tracker.enabled:
+                    tracker.record(objective=1.0, delta=0.1)
 
     return run
 

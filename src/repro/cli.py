@@ -10,6 +10,8 @@ Usage (after ``pip install -e .``)::
     repro trace t.json                # render a recorded trace document
     repro trace diff a.json b.json    # span-aligned cross-run deltas
     repro metrics m.json              # inspect a metrics ring file
+    repro watch m.json                # live dashboard tailing the ring
+    repro watch m.json --once         # one deterministic frame (CI logs)
     repro bench history results/*.json  # per-case bench timelines
     repro check src/ --fix-hints      # determinism/parallel-safety lints
     repro check --list-rules          # the registered rule catalog
@@ -71,6 +73,7 @@ from repro.telemetry import (
     trace,
     validate_metrics,
     validate_trace,
+    watch_loop,
     write_trace,
 )
 
@@ -457,6 +460,33 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the latest snapshot as OpenMetrics text instead",
     )
+
+    sub = subparsers.add_parser(
+        "watch",
+        help="live terminal dashboard over a metrics ring file",
+        description=(
+            "Tail the repro-metrics/v1 ring a running sweep exports "
+            "with --metrics and redraw a dashboard each interval: "
+            "progress bar with rate and ETA, parent/worker RSS, and "
+            "the per-kernel convergence state fed by the kernel.* "
+            "heartbeat gauges.  Works equally on a finished ring "
+            "(the final state renders, marked stale); --once prints "
+            "a single frame and exits, for CI logs."
+        ),
+    )
+    sub.add_argument("file", help="path to the metrics JSON ring file")
+    sub.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="seconds between redraws (default 1.0)",
+    )
+    sub.add_argument(
+        "--once",
+        action="store_true",
+        help="render one frame and exit instead of looping",
+    )
     return parser
 
 
@@ -592,7 +622,12 @@ def _run_check(args) -> int:
 
 
 def _load_trace(path: str) -> tuple[dict | None, int]:
-    """Read + validate one trace document; ``(payload, exit_code)``."""
+    """Read + validate one trace document; ``(payload, exit_code)``.
+
+    Forward-compatibility findings (a document or nested convergence
+    payload declaring a schema version this build does not know) are
+    printed as ``warning:`` lines and do not fail the load.
+    """
     try:
         payload = json.loads(pathlib.Path(path).read_text())
     except FileNotFoundError:
@@ -601,11 +636,14 @@ def _load_trace(path: str) -> tuple[dict | None, int]:
     except (OSError, json.JSONDecodeError) as exc:
         print(f"error: cannot read trace: {exc}", file=sys.stderr)
         return None, 2
+    warnings: list[str] = []
     try:
-        validate_trace(payload)
+        validate_trace(payload, warnings=warnings)
     except ReproError as exc:
         print(f"error: invalid trace document: {exc}", file=sys.stderr)
         return None, 1
+    for warning in warnings:
+        print(f"warning: {path}: {warning}", file=sys.stderr)
     return payload, 0
 
 
@@ -636,7 +674,8 @@ def _view_trace(args) -> int:
     if payload is None:
         return code
     if args.validate:
-        print(f"{files[0]}: valid repro-trace/v1 document")
+        schema = payload.get("schema", "repro-trace/v1")
+        print(f"{files[0]}: valid {schema} document")
         return 0
     print(render_trace(payload, top=args.top, max_depth=args.depth))
     return 0
@@ -651,15 +690,19 @@ def _view_metrics(args) -> int:
     except (OSError, json.JSONDecodeError) as exc:
         print(f"error: cannot read metrics: {exc}", file=sys.stderr)
         return 2
+    warnings: list[str] = []
     try:
-        validate_metrics(payload)
+        validate_metrics(payload, warnings=warnings)
     except ReproError as exc:
         print(f"error: invalid metrics document: {exc}", file=sys.stderr)
         return 1
+    for warning in warnings:
+        print(f"warning: {args.file}: {warning}", file=sys.stderr)
     if args.validate:
-        print(f"{args.file}: valid repro-metrics/v1 document")
+        schema = payload.get("schema", "repro-metrics/v1")
+        print(f"{args.file}: valid {schema} document")
         return 0
-    snapshots = payload["snapshots"]
+    snapshots = payload.get("snapshots") or []
     if not snapshots:
         print("metrics ring is empty (run ended before the first tick)")
         return 0
@@ -670,9 +713,10 @@ def _view_metrics(args) -> int:
     first_ts = float(snapshots[0]["ts_unix"])
     last_ts = float(latest["ts_unix"])
     print(
-        f"metrics {payload['schema']}: {len(snapshots)} snapshot(s) "
+        f"metrics {payload.get('schema', '?')}: {len(snapshots)} snapshot(s) "
         f"over {last_ts - first_ts:.1f}s "
-        f"(interval {payload['interval_s']:g}s, ring {payload['ring']})"
+        f"(interval {payload.get('interval_s', 0):g}s, "
+        f"ring {payload.get('ring', '?')})"
     )
     progress = latest.get("progress")
     if progress:
@@ -695,6 +739,22 @@ def _view_metrics(args) -> int:
     return 0
 
 
+def _run_watch(args) -> int:
+    """Tail a metrics ring file (the ``watch`` subcommand)."""
+    try:
+        return watch_loop(
+            args.file,
+            sys.stdout,
+            interval=args.interval,
+            once=args.once,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -710,6 +770,8 @@ def main(argv=None) -> int:
         return _view_trace(args)
     if args.experiment == "metrics":
         return _view_metrics(args)
+    if args.experiment == "watch":
+        return _run_watch(args)
     if args.experiment == "bench":
         # Imported lazily: the benchmark definitions import data
         # generators and attacks the other subcommands never need.

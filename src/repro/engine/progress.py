@@ -14,6 +14,7 @@ import time
 from typing import Any, TextIO
 
 from repro.engine.jobs import JobResult
+from repro.telemetry.convergence import collect_payloads, summarize_payloads
 
 __all__ = ["ProgressReporter", "ThroughputReporter", "TraceReporter"]
 
@@ -92,8 +93,12 @@ class TraceReporter(ProgressReporter):
     printing, it records one row per completed job — cache key,
     duration, cache provenance, completion order — for
     :func:`repro.telemetry.manifest.build_manifest` to join onto the
-    spec's job table.  An optional ``inner`` reporter receives every
-    hook unchanged, so tracing composes with terminal progress output.
+    spec's job table.  When a result carries a worker trace fragment,
+    the fragment's ``repro-convergence/v1`` payloads are folded into a
+    per-kernel ``convergence`` summary on the row (in-process results
+    ship no fragment; their payloads live in the parent trace itself).
+    An optional ``inner`` reporter receives every hook unchanged, so
+    tracing composes with terminal progress output.
 
     Parameters
     ----------
@@ -118,14 +123,17 @@ class TraceReporter(ProgressReporter):
             self.inner.on_start(total)
 
     def on_result(self, result: JobResult, completed: int, total: int) -> None:
-        self.rows.append(
-            {
-                "key": result.key,
-                "duration": float(result.duration),
-                "cached": bool(result.cached),
-                "order": completed,
-            }
-        )
+        row: dict[str, Any] = {
+            "key": result.key,
+            "duration": float(result.duration),
+            "cached": bool(result.cached),
+            "order": completed,
+        }
+        if result.trace is not None:
+            payloads = collect_payloads(result.trace.get("span"))
+            if payloads:
+                row["convergence"] = summarize_payloads(payloads)
+        self.rows.append(row)
         if self.inner is not None:
             self.inner.on_result(result, completed, total)
 

@@ -15,6 +15,7 @@ from repro.linalg.covariance import (
 )
 from repro.linalg.eigen import (
     EigenDecomposition,
+    condition_number,
     eigen_gap_split,
     sorted_eigh,
     spectrum_energy_fraction,
@@ -33,6 +34,7 @@ __all__ = [
     "sample_covariance",
     "sample_mean",
     "EigenDecomposition",
+    "condition_number",
     "eigen_gap_split",
     "sorted_eigh",
     "spectrum_energy_fraction",

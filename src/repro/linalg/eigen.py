@@ -9,6 +9,7 @@ and :func:`spectrum_energy_fraction` supports the energy-based variant.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,9 +21,15 @@ from repro.utils.validation import check_symmetric, check_vector
 __all__ = [
     "EigenDecomposition",
     "sorted_eigh",
+    "condition_number",
     "eigen_gap_split",
     "spectrum_energy_fraction",
 ]
+
+#: Condition numbers are reported capped at this value so they stay
+#: representable in strict (``allow_nan=False``) JSON documents —
+#: matches :data:`repro.telemetry.convergence.CONDITION_CAP`.
+CONDITION_CAP = 1e300
 
 
 @dataclass(frozen=True, eq=False)
@@ -95,6 +102,36 @@ def sorted_eigh(matrix, name: str = "matrix") -> EigenDecomposition:
     values, vectors = np.linalg.eigh(sym)
     order = np.argsort(values)[::-1]
     return EigenDecomposition(values=values[order], vectors=vectors[:, order])
+
+
+def condition_number(values) -> float:
+    """Spectral condition number from a symmetric matrix's eigenvalues.
+
+    ``|lambda|_max / |lambda|_min`` — the health probe the telemetry
+    layer publishes for PSD repairs and inversions: a Theorem-5.1
+    covariance estimate drifting toward singularity shows up as this
+    number exploding before any kernel actually fails.
+
+    Parameters
+    ----------
+    values:
+        Eigenvalues in any order (e.g. from :func:`sorted_eigh`).
+
+    Returns
+    -------
+    float
+        The condition number, capped at :data:`CONDITION_CAP`; a
+        singular or zero spectrum returns the cap itself.
+    """
+    spectrum = np.abs(check_vector(values, "values"))
+    top = float(spectrum.max())
+    bottom = float(spectrum.min())
+    if top <= 0.0 or bottom <= 0.0:
+        return CONDITION_CAP
+    ratio = top / bottom
+    if not math.isfinite(ratio) or ratio > CONDITION_CAP:
+        return CONDITION_CAP
+    return ratio
 
 
 def eigen_gap_split(values, *, max_rank: int | None = None) -> int:

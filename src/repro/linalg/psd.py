@@ -6,6 +6,15 @@ routinely has small negative eigenvalues, which breaks the matrix inverse
 in BE-DR (Eq. 11) and Cholesky-based sampling.  The paper does not discuss
 this; any faithful implementation must repair the spectrum, and this
 module centralizes that.
+
+Because every repair is a numerical-health event, the module doubles as
+the telemetry layer's condition probe: under tracing, :func:`psd_inverse`
+and :func:`nearest_psd` publish ``linalg.*`` condition gauges and
+clip/repair counters, and the :func:`cholesky_with_jitter` retry loop
+feeds an :class:`~repro.telemetry.convergence.IterationTracker` (one
+record per attempt, jitter as the delta) under a ``linalg.cholesky``
+span.  All probes sit behind ``trace.enabled()``; the untraced paths
+are arithmetic-identical to the uninstrumented originals.
 """
 
 from __future__ import annotations
@@ -13,7 +22,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import NotPositiveDefiniteError
-from repro.linalg.eigen import sorted_eigh
+from repro.linalg.eigen import condition_number, sorted_eigh
+from repro.telemetry import trace
+from repro.telemetry.convergence import NULL_TRACKER
 from repro.utils.validation import check_in_range, check_symmetric
 
 __all__ = [
@@ -57,6 +68,12 @@ def nearest_psd(matrix, *, floor: float = 0.0) -> np.ndarray:
     if np.array_equal(clipped, decomposition.values):
         # Already PSD with the requested floor: return the symmetrized input.
         return check_symmetric(matrix, "matrix")
+    if trace.enabled():
+        trace.count("linalg.nearest_psd.repairs")
+        trace.gauge(
+            "linalg.nearest_psd.condition",
+            condition_number(decomposition.values),
+        )
     vectors = decomposition.vectors
     repaired = (vectors * clipped) @ vectors.T
     return (repaired + repaired.T) / 2.0
@@ -81,14 +98,51 @@ def cholesky_with_jitter(
     scale = float(np.mean(np.diag(sym)))
     if scale <= 0.0:
         scale = 1.0
+    if not trace.enabled():
+        return _cholesky_attempts(
+            sym, scale, initial_jitter, max_tries, NULL_TRACKER
+        )
+    with trace.span("linalg.cholesky", dim=int(sym.shape[0])):
+        tracker = trace.iterations("linalg.cholesky")
+        try:
+            factor = _cholesky_attempts(
+                sym, scale, initial_jitter, max_tries, tracker
+            )
+        except NotPositiveDefiniteError:
+            tracker.finish(converged=False)
+            raise
+        tracker.finish(converged=True)
+        return factor
+
+
+def _cholesky_attempts(
+    sym: np.ndarray,
+    scale: float,
+    initial_jitter: float,
+    max_tries: int,
+    tracker,
+) -> np.ndarray:
+    """The retry loop behind :func:`cholesky_with_jitter`.
+
+    ``tracker`` gets one record per attempt — the applied absolute
+    jitter as the delta, failures as rejections — and stays the no-op
+    singleton on the untraced path.
+    """
     jitter = 0.0
     next_jitter = initial_jitter
     for _ in range(max_tries):
+        applied = jitter * scale
         try:
-            return np.linalg.cholesky(sym + jitter * scale * np.eye(sym.shape[0]))
+            factor = np.linalg.cholesky(
+                sym + applied * np.eye(sym.shape[0])
+            )
         except np.linalg.LinAlgError:
+            tracker.record(delta=applied, rejected=1)
             jitter = next_jitter
             next_jitter *= 10.0
+        else:
+            tracker.record(delta=applied)
+            return factor
     raise NotPositiveDefiniteError(
         "matrix is not positive definite even after adding jitter up to "
         f"{jitter * scale:.3g}"
@@ -112,6 +166,14 @@ def psd_inverse(matrix, *, floor: float = 1e-10) -> np.ndarray:
             "matrix has no positive eigenvalues; cannot invert"
         )
     clipped = np.clip(decomposition.values, floor * top, None)
+    if trace.enabled():
+        trace.count("linalg.psd_inverse.calls")
+        trace.gauge(
+            "linalg.psd_inverse.condition",
+            condition_number(decomposition.values),
+        )
+        if bool(np.any(decomposition.values < floor * top)):
+            trace.count("linalg.psd_inverse.clipped")
     vectors = decomposition.vectors
     inverse = (vectors / clipped) @ vectors.T
     return (inverse + inverse.T) / 2.0

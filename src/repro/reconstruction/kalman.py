@@ -33,6 +33,8 @@ from repro.linalg.psd import nearest_psd, psd_inverse
 from repro.randomization.base import NoiseModel
 from repro.reconstruction.base import ReconstructionResult, Reconstructor
 from repro.registry import check_spec, register_attack
+from repro.telemetry import trace
+from repro.telemetry.convergence import NULL_TRACKER
 from repro.utils.validation import check_in_range
 
 __all__ = ["KalmanSmootherReconstructor"]
@@ -87,9 +89,22 @@ class KalmanSmootherReconstructor(Reconstructor):
         transition, process_cov, state_cov = self._identify(
             centered, noise_cov
         )
-        smoothed = self._rts_smooth(
-            centered, transition, process_cov, state_cov, noise_cov
-        )
+        if not trace.enabled():
+            smoothed = self._rts_smooth(
+                centered, transition, process_cov, state_cov, noise_cov
+            )
+        else:
+            # One span for the whole smoothing pass; the tracker feeds
+            # it one record per forward-filter time step (innovation
+            # norm + innovation-covariance condition), the numerical
+            # vitals of the filter.
+            with trace.span("kalman.smooth", n=n, m=m):
+                tracker = trace.iterations("kalman.filter")
+                smoothed = self._rts_smooth(
+                    centered, transition, process_cov, state_cov,
+                    noise_cov, tracker,
+                )
+                tracker.finish()
         return ReconstructionResult(
             estimate=smoothed + mean,
             method=self.name,
@@ -128,8 +143,15 @@ class KalmanSmootherReconstructor(Reconstructor):
         process_cov: np.ndarray,
         state_cov: np.ndarray,
         noise_cov: np.ndarray,
+        tracker=NULL_TRACKER,
     ) -> np.ndarray:
-        """Forward Kalman filter + RTS backward pass (zero-mean data)."""
+        """Forward Kalman filter + RTS backward pass (zero-mean data).
+
+        ``tracker`` receives one record per forward time step: the
+        innovation norm ``|y_t - ŷ_t|`` as the delta and the condition
+        number of the innovation covariance — both guarded behind
+        ``tracker.enabled`` so the untraced filter computes neither.
+        """
         n, m = observations.shape
         identity = np.eye(m)
 
@@ -151,6 +173,11 @@ class KalmanSmootherReconstructor(Reconstructor):
             predicted_covs[t] = cov
             innovation_cov = cov + noise_cov
             gain = cov @ psd_inverse(innovation_cov)
+            if tracker.enabled:
+                tracker.record(
+                    delta=float(np.linalg.norm(observations[t] - mean)),
+                    condition=float(np.linalg.cond(innovation_cov)),
+                )
             mean = mean + gain @ (observations[t] - mean)
             cov = nearest_psd((identity - gain) @ cov)
             filtered_means[t] = mean

@@ -26,6 +26,7 @@ from repro.stats.density import (
     GaussianMixtureDensity,
 )
 from repro.telemetry import trace
+from repro.telemetry.convergence import NULL_TRACKER
 from repro.utils.validation import check_in_range, check_positive_int
 
 __all__ = ["MAPGradientReconstructor"]
@@ -130,7 +131,9 @@ class MAPGradientReconstructor(Reconstructor):
             )
         # One coarse span for the whole multi-column ascent; when
         # tracing is off this is a shared no-op singleton, so the hook
-        # costs one predicate check per reconstruct call.
+        # costs one predicate check per reconstruct call.  Under
+        # tracing each column additionally gets its own child span
+        # carrying the ascent's convergence payload.
         with trace.span(
             "map_gd.reconstruct", n=n, m=m, n_starts=self._n_starts
         ):
@@ -141,9 +144,19 @@ class MAPGradientReconstructor(Reconstructor):
                     raise ValidationError(
                         f"attribute {j} has non-positive noise variance"
                     )
-                estimate[:, j] = self._map_column(
-                    disguised[:, j] - noise.mean, self._priors[j], noise
-                )
+                column = disguised[:, j] - noise.mean
+                if not trace.enabled():
+                    estimate[:, j] = self._map_column(
+                        column, self._priors[j], noise
+                    )
+                else:
+                    with trace.span("map_gd.column", attribute=j):
+                        estimate[:, j] = self._map_column(
+                            column,
+                            self._priors[j],
+                            noise,
+                            trace.iterations("map_gd.ascent"),
+                        )
         return ReconstructionResult(
             estimate=estimate,
             method=self.name,
@@ -152,7 +165,11 @@ class MAPGradientReconstructor(Reconstructor):
 
     # ------------------------------------------------------------------
     def _map_column(
-        self, column: np.ndarray, prior: Density, noise: Density
+        self,
+        column: np.ndarray,
+        prior: Density,
+        noise: Density,
+        tracker=NULL_TRACKER,
     ) -> np.ndarray:
         """MAP estimate for every sample of one attribute.
 
@@ -174,6 +191,13 @@ class MAPGradientReconstructor(Reconstructor):
             The attribute's prior ``f_X``.
         noise:
             Univariate noise marginal ``f_R``.
+        tracker:
+            Convergence tracker fed once per ascent iteration (best
+            objective, current step scale, rejected-proposal count).
+            Every derived statistic is guarded behind
+            ``tracker.enabled``, so the default no-op tracker keeps
+            the untraced path free of extra reductions; the accepted
+            iterates themselves are untouched either way.
 
         Returns
         -------
@@ -215,6 +239,17 @@ class MAPGradientReconstructor(Reconstructor):
             step_a = np.where(improved, step_a, step_a * 0.5)
             current_step[rows] = step_a
             active[rows] = step_a.max(axis=1) >= 1e-8 * step
+            if tracker.enabled:
+                tracker.record(
+                    objective=float(obj.max()),
+                    delta=float(step_a.max()),
+                    rejected=int(improved.size)
+                    - int(np.count_nonzero(improved)),
+                )
+        if tracker.enabled:
+            # Converged means every start froze before the budget ran
+            # out; leftover active rows mean the iteration cap bit.
+            tracker.finish(converged=not bool(active.any()))
         # Sequential best-of-starts reduction, in start order (matching
         # the historical loop's strict-improvement tie-breaking).
         for s in range(x.shape[0]):

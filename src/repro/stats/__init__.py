@@ -15,7 +15,7 @@ from repro.stats.density import (
     UniformDensity,
 )
 from repro.stats.em import UnivariateGaussianMixtureEM
-from repro.stats.kde import GaussianKDE, silverman_bandwidth
+from repro.stats.kde import GaussianKDE, cv_bandwidth, silverman_bandwidth
 from repro.stats.moments import standardize, weighted_mean_and_variance
 from repro.stats.mvn import MultivariateNormal
 
@@ -29,6 +29,7 @@ __all__ = [
     "UnivariateGaussianMixtureEM",
     "GaussianKDE",
     "silverman_bandwidth",
+    "cv_bandwidth",
     "standardize",
     "weighted_mean_and_variance",
     "MultivariateNormal",

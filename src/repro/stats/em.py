@@ -9,16 +9,23 @@ that non-normal priors require numerical methods).
 from __future__ import annotations
 
 import math
+from collections import deque
 
 import numpy as np
 
 from repro.exceptions import ConvergenceError, ValidationError
 from repro.stats.density import GaussianMixtureDensity
 from repro.telemetry import trace
+from repro.telemetry.convergence import NULL_TRACKER
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive_int, check_vector
 
 __all__ = ["UnivariateGaussianMixtureEM"]
+
+#: Log-likelihood values a :class:`~repro.exceptions.ConvergenceError`
+#: carries as its trajectory tail (kept regardless of tracing, so the
+#: exception is diagnosable even from an untraced production run).
+_ERROR_TAIL = 8
 
 
 class UnivariateGaussianMixtureEM:
@@ -59,44 +66,73 @@ class UnivariateGaussianMixtureEM:
 
         When tracing is active (see :mod:`repro.telemetry.trace`), the
         whole sweep is covered by one ``em.fit`` span annotated with the
-        sample count, component count, and realized iteration count;
-        with tracing off the hook is a single predicate check, pinned
-        under 2% overhead by the ``telemetry.overhead`` micro-benchmark.
+        sample count, component count, and realized iteration count, and
+        an :class:`~repro.telemetry.convergence.IterationTracker`
+        records the per-iteration log-likelihood trajectory into the
+        span's ``repro-convergence/v1`` payload; with tracing off the
+        hook is a single predicate check and the tracker is the shared
+        no-op singleton, pinned under 2% overhead by the
+        ``telemetry.convergence`` micro-benchmark.
 
         Raises
         ------
         ConvergenceError
             If the log-likelihood has not stabilized within ``max_iter``
-            iterations.
+            iterations.  The exception carries the final
+            log-likelihood, the last delta, and the trajectory tail.
         """
         data = check_vector(samples, "samples", min_length=self.n_components)
         generator = as_generator(rng)
         if not trace.enabled():
-            return self._fit(data, generator)[0]
+            return self._fit(data, generator, NULL_TRACKER)[0]
         with trace.span(
             "em.fit", n=int(data.size), n_components=self.n_components
         ) as span:
-            density, iterations = self._fit(data, generator)
+            tracker = trace.iterations("em.fit")
+            try:
+                density, iterations = self._fit(data, generator, tracker)
+            except ConvergenceError:
+                tracker.finish(converged=False)
+                raise
             span.set(iterations=iterations)
+            tracker.finish(converged=True)
             return density
 
-    def _fit(self, data, generator):
-        """The uninstrumented EM sweep; returns ``(density, iterations)``."""
+    def _fit(self, data, generator, tracker=NULL_TRACKER):
+        """The EM sweep behind :meth:`fit`; returns ``(density, iterations)``.
+
+        ``tracker`` receives one record per iteration (log-likelihood
+        and its improvement); the default no-op tracker keeps the
+        untraced path allocation-free.  The numerics are identical
+        either way — every recorded value is computed by the sweep
+        itself.
+        """
         weights, means, stds = self._initialize(data, generator)
 
         previous_ll = -np.inf
+        delta = math.inf
+        tail: deque[float] = deque(maxlen=_ERROR_TAIL)
         for iteration in range(1, self.max_iter + 1):
             responsibilities, log_likelihood = self._e_step(
                 data, weights, means, stds
             )
             weights, means, stds = self._m_step(data, responsibilities)
-            if abs(log_likelihood - previous_ll) < self.tol * max(
-                1.0, abs(previous_ll)
-            ):
+            delta = abs(log_likelihood - previous_ll)
+            tail.append(log_likelihood)
+            # Iteration 1 has no previous likelihood (delta is inf by
+            # construction, not by sickness), so only the objective is
+            # recorded for it.
+            improvement = delta if iteration > 1 else None
+            tracker.record(objective=log_likelihood, delta=improvement)
+            if delta < self.tol * max(1.0, abs(previous_ll)):
                 return GaussianMixtureDensity(weights, means, stds), iteration
             previous_ll = log_likelihood
         raise ConvergenceError(
-            "EM did not converge", iterations=self.max_iter
+            "EM did not converge",
+            iterations=self.max_iter,
+            final_objective=previous_ll,
+            last_delta=delta,
+            trajectory_tail=tuple(tail),
         )
 
     # ------------------------------------------------------------------

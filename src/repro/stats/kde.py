@@ -16,10 +16,11 @@ import numpy as np
 from repro.exceptions import ValidationError
 from repro.stats.density import Density
 from repro.telemetry import trace
+from repro.telemetry.convergence import NULL_TRACKER
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_in_range, check_vector
 
-__all__ = ["silverman_bandwidth", "GaussianKDE"]
+__all__ = ["silverman_bandwidth", "cv_bandwidth", "GaussianKDE"]
 
 
 def silverman_bandwidth(samples) -> float:
@@ -42,6 +43,137 @@ def silverman_bandwidth(samples) -> float:
     return 0.9 * spread * n ** (-0.2)
 
 
+def _loo_log_likelihood(
+    sorted_samples: np.ndarray, bandwidth: float, cutoff: float
+) -> float:
+    """Mean leave-one-out log-likelihood of the KDE at ``bandwidth``.
+
+    Each sample is scored by the density the *other* ``n - 1`` kernels
+    place on it: the full kernel sum minus the self-kernel (which is
+    exactly 1 before normalization).  Evaluation reuses the sorted
+    windowed strategy of :meth:`GaussianKDE.pdf` so selection stays
+    ``O(n * window)`` instead of ``O(n^2)``.
+    """
+    n = sorted_samples.size
+    radius = cutoff * bandwidth
+    totals = np.empty(n, dtype=np.float64)
+    block = max(1, int(4_000_000 // max(n, 1)))
+    for start in range(0, n, block):
+        chunk = sorted_samples[start : start + block]
+        lo = int(np.searchsorted(sorted_samples, chunk[0] - radius, "left"))
+        hi = int(np.searchsorted(sorted_samples, chunk[-1] + radius, "right"))
+        z = (chunk[:, None] - sorted_samples[lo:hi]) / bandwidth
+        totals[start : start + block] = np.exp(-0.5 * z * z).sum(axis=1)
+    norm = (n - 1) * bandwidth * math.sqrt(2.0 * math.pi)
+    loo = np.maximum(totals - 1.0, 1e-300) / norm
+    return float(np.mean(np.log(loo)))
+
+
+def cv_bandwidth(
+    samples,
+    *,
+    span: float = 8.0,
+    tol: float = 1e-3,
+    max_iter: int = 40,
+    cutoff: float = 8.5,
+) -> float:
+    """Leave-one-out cross-validated bandwidth via golden-section search.
+
+    Maximizes the mean leave-one-out log-likelihood over ``log h`` in
+    ``[log(h_silverman / span), log(h_silverman * span)]`` — an
+    iterative refinement of Silverman's rule that adapts to skewed or
+    multi-modal data, where the rule-of-thumb over-smooths.
+
+    When tracing is active the search runs under a ``kde.bandwidth``
+    span whose :class:`~repro.telemetry.convergence.IterationTracker`
+    records the best CV score (objective) and the log-space bracket
+    width (delta) per iteration.
+
+    Parameters
+    ----------
+    samples:
+        Observed values, shape ``(n,)``, ``n >= 3``.
+    span:
+        Half-range of the search bracket as a factor of the Silverman
+        bandwidth; must be ``> 1``.
+    tol:
+        Convergence threshold on the log-space bracket width.
+    max_iter:
+        Iteration budget for the golden-section search.
+    cutoff:
+        Kernel truncation radius in bandwidths (see
+        :class:`GaussianKDE`).
+
+    Returns
+    -------
+    float
+        The selected bandwidth (bracket midpoint at convergence).
+    """
+    data = check_vector(samples, "samples", min_length=3)
+    check_in_range(span, "span", low=1.0, inclusive_low=False)
+    check_in_range(tol, "tol", low=0.0, inclusive_low=False)
+    check_in_range(cutoff, "cutoff", low=0.0, inclusive_low=False)
+    if max_iter < 1:
+        raise ValidationError(f"max_iter must be >= 1, got {max_iter}")
+    anchor = silverman_bandwidth(data)
+    sorted_samples = np.sort(data).astype(np.float64)
+    lo = math.log(anchor / span)
+    hi = math.log(anchor * span)
+    if not trace.enabled():
+        return _golden_section(
+            sorted_samples, lo, hi, tol, max_iter, cutoff, NULL_TRACKER
+        )[0]
+    with trace.span("kde.bandwidth", n=int(data.size)) as open_span:
+        tracker = trace.iterations("kde.bandwidth")
+        bandwidth, iterations, converged = _golden_section(
+            sorted_samples, lo, hi, tol, max_iter, cutoff, tracker
+        )
+        tracker.finish(converged=converged)
+        open_span.set(iterations=iterations, bandwidth=bandwidth)
+        return bandwidth
+
+
+def _golden_section(
+    sorted_samples: np.ndarray,
+    lo: float,
+    hi: float,
+    tol: float,
+    max_iter: int,
+    cutoff: float,
+    tracker,
+) -> tuple[float, int, bool]:
+    """Golden-section ascent on the LOO score over ``log h``.
+
+    Returns ``(bandwidth, iterations, converged)``; the tracker gets
+    one record per bracket shrink.
+    """
+    invphi = (math.sqrt(5.0) - 1.0) / 2.0
+    a, b = lo, hi
+    c = b - invphi * (b - a)
+    d = a + invphi * (b - a)
+    fc = _loo_log_likelihood(sorted_samples, math.exp(c), cutoff)
+    fd = _loo_log_likelihood(sorted_samples, math.exp(d), cutoff)
+    iterations = 0
+    converged = False
+    for _ in range(max_iter):
+        iterations += 1
+        if fc >= fd:
+            b, d, fd = d, c, fc
+            c = b - invphi * (b - a)
+            fc = _loo_log_likelihood(sorted_samples, math.exp(c), cutoff)
+        else:
+            a, c, fc = c, d, fd
+            d = a + invphi * (b - a)
+            fd = _loo_log_likelihood(sorted_samples, math.exp(d), cutoff)
+        best = fc if fc >= fd else fd
+        width = b - a
+        tracker.record(objective=best, delta=width)
+        if width < tol:
+            converged = True
+            break
+    return math.exp((a + b) / 2.0), iterations, converged
+
+
 class GaussianKDE(Density):
     """Gaussian kernel density estimate over a 1-D sample.
 
@@ -61,7 +193,10 @@ class GaussianKDE(Density):
         Observed values, shape ``(n,)``.
     bandwidth:
         Kernel standard deviation; defaults to Silverman's rule
-        (:func:`silverman_bandwidth`).
+        (:func:`silverman_bandwidth`).  The string ``"cv"`` selects
+        the bandwidth by leave-one-out cross-validation
+        (:func:`cv_bandwidth`); ``"silverman"`` names the default
+        explicitly.
     cutoff:
         Truncation radius in bandwidths for :meth:`pdf`; larger is
         (immeasurably) more accurate, smaller is faster.  The default
@@ -71,11 +206,21 @@ class GaussianKDE(Density):
     def __init__(
         self,
         samples,
-        bandwidth: float | None = None,
+        bandwidth: float | str | None = None,
         *,
         cutoff: float = 8.5,
     ):
         self._samples = check_vector(samples, "samples", min_length=2)
+        if isinstance(bandwidth, str):
+            if bandwidth == "cv":
+                bandwidth = cv_bandwidth(self._samples, cutoff=cutoff)
+            elif bandwidth == "silverman":
+                bandwidth = None
+            else:
+                raise ValidationError(
+                    "bandwidth must be a positive number, 'silverman', "
+                    f"or 'cv'; got {bandwidth!r}"
+                )
         if bandwidth is None:
             bandwidth = silverman_bandwidth(self._samples)
         self._bandwidth = check_in_range(

@@ -22,7 +22,12 @@ provides
   ``/proc``-based worker resource sampling
   (:mod:`~repro.telemetry.sampler`), cross-run trace diffing
   (:mod:`~repro.telemetry.diff`), and bench-history timelines
-  (:mod:`~repro.telemetry.history`).
+  (:mod:`~repro.telemetry.history`);
+* **convergence telemetry**: per-iteration trackers for the iterative
+  kernels (:mod:`~repro.telemetry.convergence`), serialized as
+  ``repro-convergence/v1`` span payloads and surfaced by the viewer,
+  the diff, the manifests, and the live ``repro watch`` dashboard
+  (:mod:`~repro.telemetry.watch`).
 
 Typical use::
 
@@ -42,6 +47,12 @@ import pathlib
 from typing import Any
 
 from repro.telemetry import trace
+from repro.telemetry.convergence import (
+    CONVERGENCE_SCHEMA,
+    IterationTracker,
+    collect_payloads,
+    summarize_payloads,
+)
 from repro.telemetry.diff import diff_traces, render_diff
 from repro.telemetry.exporter import (
     MetricsExporter,
@@ -71,10 +82,13 @@ from repro.telemetry.schema import (
     validate_trace,
 )
 from repro.telemetry.spans import Span
-from repro.telemetry.viewer import format_seconds, render_trace
+from repro.telemetry.viewer import format_seconds, render_trace, sparkline
+from repro.telemetry.watch import render_watch, watch_loop
 
 __all__ = [
+    "CONVERGENCE_SCHEMA",
     "HISTORY_SCHEMA",
+    "IterationTracker",
     "MANIFEST_KIND",
     "METRICS_SCHEMA",
     "MetricsExporter",
@@ -85,6 +99,7 @@ __all__ = [
     "TRACE_SCHEMA",
     "build_history",
     "build_manifest",
+    "collect_payloads",
     "diff_traces",
     "format_seconds",
     "git_revision",
@@ -94,12 +109,16 @@ __all__ = [
     "render_history",
     "render_openmetrics",
     "render_trace",
+    "render_watch",
     "run_health",
     "sampling_supported",
+    "sparkline",
     "spec_fingerprint",
+    "summarize_payloads",
     "trace",
     "validate_metrics",
     "validate_trace",
+    "watch_loop",
     "write_trace",
 ]
 

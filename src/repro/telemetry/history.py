@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.exceptions import ValidationError
+from repro.telemetry.viewer import sparkline
 
 __all__ = ["HISTORY_SCHEMA", "build_history", "render_history"]
 
@@ -25,9 +26,6 @@ HISTORY_SCHEMA = "repro-bench-history/v1"
 #: ``latest / baseline`` above this flags a case as regressed (matches
 #: the bench runner's default gate).
 DEFAULT_REGRESSION_RATIO = 1.5
-
-#: Characters for the per-case trend sparkline, slow to fast.
-_SPARK_LEVELS = " .:-=+*#%"
 
 
 def build_history(
@@ -117,20 +115,6 @@ def build_history(
     }
 
 
-def _spark(values: list[float]) -> str:
-    """Fixed-height sparkline of a timeline (low char = fast run)."""
-    if not values:
-        return ""
-    low, high = min(values), max(values)
-    if high <= low:
-        return _SPARK_LEVELS[0] * len(values)
-    span = high - low
-    top = len(_SPARK_LEVELS) - 1
-    return "".join(
-        _SPARK_LEVELS[round((value - low) / span * top)] for value in values
-    )
-
-
 def render_history(history: dict[str, Any]) -> str:
     """Render a history document as an ASCII table with sparklines."""
     cases = history["cases"]
@@ -144,9 +128,8 @@ def render_history(history: dict[str, Any]) -> str:
         ratio = case["baseline_ratio"]
         versus = f"{ratio:>7.2f}x" if ratio is not None else "       -"
         marker = "  << REGRESSION" if case["regressed"] else ""
-        spark = _spark(
-            [point["seconds_min"] for point in case["timeline"]]
-        )
+        mins = [point["seconds_min"] for point in case["timeline"]]
+        spark = sparkline(mins, width=len(mins))
         lines.append(
             f"{name:<42} {case['runs']:>4} {case['best_s']:>8.4f}s "
             f"{case['latest_s']:>8.4f}s {versus}  {spark}{marker}"

@@ -127,8 +127,10 @@ def build_manifest(
     rows:
         Optional per-job timing rows — typically
         :attr:`~repro.engine.progress.TraceReporter.rows` — each a dict
-        with ``key``, ``duration``, and ``cached``.  Joined onto the job
-        table by cache key; jobs without a row keep lineage only.
+        with ``key``, ``duration``, and ``cached``, plus an optional
+        per-kernel ``convergence`` summary harvested from the job's
+        worker trace fragment.  Joined onto the job table by cache key;
+        jobs without a row keep lineage only.
     extra:
         Free-form annotations stored under ``"extra"``.
 
@@ -170,17 +172,22 @@ def build_manifest(
             if row is not None:
                 entry["duration"] = float(row["duration"])
                 entry["cached"] = bool(row["cached"])
+                if "convergence" in row:
+                    entry["convergence"] = row["convergence"]
             table.append(entry)
         manifest["jobs"] = table
     elif rows is not None:
-        manifest["jobs"] = [
-            {
+        table = []
+        for row in rows:
+            entry = {
                 "key": row["key"],
                 "duration": float(row["duration"]),
                 "cached": bool(row["cached"]),
             }
-            for row in rows
-        ]
+            if "convergence" in row:
+                entry["convergence"] = row["convergence"]
+            table.append(entry)
+        manifest["jobs"] = table
     if extra:
         manifest["extra"] = dict(extra)
     return manifest

@@ -85,8 +85,10 @@ class Recorder:
         ``fragment`` is :meth:`export_fragment` output shipped from
         another process (or an already-serialized span dict).  The
         fragment's span tree becomes a child of the calling thread's
-        current span (or a new root), and its counters merge additively
-        into this recorder's.
+        current span (or a new root), its counters merge additively
+        into this recorder's, and its gauges merge last-value-wins —
+        so a worker's ``kernel.*`` convergence heartbeats surface in
+        the parent's metrics ring as each job completes.
         """
         if not isinstance(fragment, dict):
             raise ValidationError(
@@ -103,6 +105,8 @@ class Recorder:
                 self.roots.append(span)
         for name, value in (fragment.get("counters") or {}).items():
             self.count(name, value)
+        for name, value in (fragment.get("gauges") or {}).items():
+            self.gauge(name, value)
         return span
 
     # ------------------------------------------------------------------
@@ -139,6 +143,8 @@ class Recorder:
         """
         with self._lock:
             roots = list(self.roots)
+            counters = dict(self.counters)
+            gauges = dict(self.gauges)
         if len(roots) == 1:
             root = roots[0]
         else:
@@ -149,7 +155,11 @@ class Recorder:
                     max(span.end_unix for span in roots) - root.start_unix
                 )
             root.children.extend(roots)
-        return {"span": root.to_dict(), "counters": dict(self.counters)}
+        return {
+            "span": root.to_dict(),
+            "counters": counters,
+            "gauges": gauges,
+        }
 
     def to_document(
         self, *, manifest: dict[str, Any] | None = None

@@ -24,6 +24,11 @@ import contextlib
 from types import TracebackType
 from typing import Any, Iterator
 
+from repro.telemetry.convergence import (
+    NULL_TRACKER,
+    IterationTracker,
+    _NullTracker,
+)
 from repro.telemetry.recorder import Recorder
 from repro.telemetry.spans import Span
 
@@ -37,6 +42,7 @@ __all__ = [
     "gauge",
     "adopt",
     "current_span",
+    "iterations",
 ]
 
 #: The process-wide active recorder; ``None`` disables all tracing.
@@ -192,3 +198,20 @@ def current_span() -> Span | None:
     if recorder is None:
         return None
     return recorder.current_span()
+
+
+def iterations(kernel: str) -> IterationTracker | _NullTracker:
+    """An :class:`IterationTracker` for the kernel fit under way.
+
+    Returns the shared no-op :data:`~repro.telemetry.convergence.
+    NULL_TRACKER` singleton when tracing is disabled — the per-call
+    cost is then one global read, same as :func:`span`.  When tracing
+    is active the tracker binds to the calling thread's current span
+    (normally the kernel's own span, opened just before), which is
+    where :meth:`~IterationTracker.finish` attaches the
+    ``repro-convergence/v1`` payload.  One tracker per span.
+    """
+    recorder = _ACTIVE
+    if recorder is None:
+        return NULL_TRACKER
+    return IterationTracker(kernel, recorder, recorder.current_span())

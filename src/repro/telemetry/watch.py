@@ -1,0 +1,300 @@
+"""Live run dashboard: tail a ``repro-metrics/v1`` ring in the terminal.
+
+``repro watch run-metrics.json`` renders the newest snapshot of the
+metrics ring the exporter rewrites every tick — progress bar, job rate
+and ETA, worker RSS, and a per-kernel convergence table fed by the
+``kernel.*`` heartbeat gauges the iteration trackers publish — then
+redraws on an interval until the ring stops advancing.  Everything is
+derived from the on-disk document, so the dashboard attaches to any
+running sweep (same host or a copied file) without touching the run.
+
+:func:`render_watch` is a pure function of the document (plus an
+explicit "now" timestamp), which is what the tests pin and what
+``repro watch --once`` prints for CI logs; :func:`watch_loop` adds the
+redraw loop around it.  Clock reads flow through the sanctioned
+:mod:`repro.telemetry._clock` shims (the ``wall-clock`` check rule
+covers this module).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from typing import Any, TextIO
+
+from repro.exceptions import ValidationError
+from repro.telemetry._clock import wall_now
+from repro.telemetry.viewer import format_bytes, format_seconds, sparkline
+
+__all__ = ["render_watch", "watch_loop"]
+
+#: A ring whose ``updated_unix`` is older than this many seconds is
+#: labelled stale (the run finished, died, or the file is a copy).
+STALE_AFTER = 10.0
+
+#: Progress bar width in characters.
+_BAR_WIDTH = 30
+
+
+def _latest(document: dict[str, Any]) -> dict[str, Any]:
+    """The newest snapshot in the ring (empty dict when none)."""
+    snapshots = document.get("snapshots")
+    if isinstance(snapshots, list) and snapshots:
+        last = snapshots[-1]
+        if isinstance(last, dict):
+            return last
+    return {}
+
+
+def _progress_lines(document: dict[str, Any]) -> list[str]:
+    """Progress bar, rate + ETA, and the rate trend over the ring."""
+    latest = _latest(document)
+    progress = latest.get("progress")
+    if not isinstance(progress, dict):
+        return []
+    total = float(progress.get("total", 0.0))
+    completed = float(progress.get("completed", 0.0))
+    cached = float(progress.get("cached", 0.0))
+    fraction = min(max(completed / total, 0.0), 1.0) if total > 0 else 0.0
+    filled = round(fraction * _BAR_WIDTH)
+    bar = "#" * filled + "." * (_BAR_WIDTH - filled)
+    line = (
+        f"  [{bar}] {completed:.0f}/{total:.0f} jobs "
+        f"({cached:.0f} cached)"
+    )
+    rate = progress.get("rate_jobs_per_s")
+    if isinstance(rate, (int, float)):
+        line += f"  {float(rate):.1f} jobs/s"
+    eta = progress.get("eta_s")
+    if isinstance(eta, (int, float)) and completed < total:
+        line += f"  eta {format_seconds(float(eta))}"
+    lines = ["", "progress:", line]
+    rates = [
+        float(snap["progress"]["rate_jobs_per_s"])
+        for snap in document.get("snapshots", [])
+        if isinstance(snap, dict)
+        and isinstance(snap.get("progress"), dict)
+        and isinstance(
+            snap["progress"].get("rate_jobs_per_s"), (int, float)
+        )
+    ]
+    if rates:
+        lines.append(f"  rate trend  {sparkline(rates, width=_BAR_WIDTH)}")
+    if total > 0 and completed >= total:
+        lines.append("  run complete")
+    return lines
+
+
+def _resource_lines(gauges: dict[str, Any]) -> list[str]:
+    """Parent / worker RSS and CPU from the ``resource.*`` gauges."""
+    lines: list[str] = []
+    rss = gauges.get("resource.rss_bytes")
+    peak = gauges.get("resource.rss_peak_bytes")
+    if isinstance(peak, (int, float)):
+        live = (
+            f"{format_bytes(float(rss))} live, "
+            if isinstance(rss, (int, float))
+            else ""
+        )
+        lines.append(f"  parent   rss {live}peak {format_bytes(float(peak))}")
+    workers_peak = gauges.get("resource.workers.rss_peak_bytes")
+    if isinstance(workers_peak, (int, float)):
+        count = sum(
+            1
+            for name in gauges
+            if name.startswith("resource.worker.")
+            and name.endswith(".rss_peak_bytes")
+        )
+        suffix = f" across {count} worker(s)" if count else ""
+        lines.append(
+            f"  workers  rss peak {format_bytes(float(workers_peak))}{suffix}"
+        )
+    if lines:
+        lines = ["", "resources:"] + lines
+    return lines
+
+
+def _kernel_rows(
+    counters: dict[str, Any], gauges: dict[str, Any]
+) -> dict[str, dict[str, float]]:
+    """Fold ``kernel.<name>.<field>`` metrics into per-kernel rows."""
+    rows: dict[str, dict[str, float]] = {}
+    for source in (counters, gauges):
+        for name, value in source.items():
+            if not name.startswith("kernel.") or not isinstance(
+                value, (int, float)
+            ):
+                continue
+            kernel, _, field = name[len("kernel."):].rpartition(".")
+            if kernel and field:
+                rows.setdefault(kernel, {})[field] = float(value)
+    return rows
+
+
+def _objective_series(
+    document: dict[str, Any], kernel: str
+) -> list[float]:
+    """One kernel's objective-gauge series across the ring."""
+    name = f"kernel.{kernel}.objective"
+    series: list[float] = []
+    for snap in document.get("snapshots", []):
+        if not isinstance(snap, dict):
+            continue
+        snap_gauges = snap.get("gauges")
+        if isinstance(snap_gauges, dict):
+            value = snap_gauges.get(name)
+            if isinstance(value, (int, float)):
+                series.append(float(value))
+    return series
+
+
+def _kernel_lines(document: dict[str, Any]) -> list[str]:
+    """The per-kernel convergence table from the heartbeat metrics."""
+    latest = _latest(document)
+    counters = latest.get("counters")
+    gauges = latest.get("gauges")
+    rows = _kernel_rows(
+        counters if isinstance(counters, dict) else {},
+        gauges if isinstance(gauges, dict) else {},
+    )
+    if not rows:
+        return []
+    lines = ["", "kernels:"]
+    lines.append(
+        f"  {'kernel':<20} {'fits':>6} {'iter':>6} {'rej':>6} "
+        f"{'objective':>12} {'state':>10}  trend"
+    )
+    for kernel in sorted(rows):
+        row = rows[kernel]
+        fits = row.get("fits", 0.0)
+        iterations = row.get("iterations", 0.0)
+        rejections = row.get("rejections", 0.0)
+        objective = row.get("objective")
+        objective_text = (
+            f"{objective:.6g}" if objective is not None else "-"
+        )
+        if row.get("nonfinite", 0.0) > 0:
+            state = "NONFINITE"
+        elif row.get("nonconverged", 0.0) > 0:
+            state = "DIVERGED"
+        elif row.get("converged") == 0.0:  # repro: ignore[float-eq] the converged gauge is written as exactly 0.0 or 1.0
+            state = "fitting"
+        else:
+            state = "ok"
+        trend = sparkline(
+            _objective_series(document, kernel), width=_BAR_WIDTH
+        )
+        lines.append(
+            f"  {kernel:<20} {fits:>6.0f} {iterations:>6.0f} "
+            f"{rejections:>6.0f} {objective_text:>12} {state:>10}  {trend}"
+        )
+    return lines
+
+
+def render_watch(
+    document: dict[str, Any], *, now: float | None = None
+) -> str:
+    """Render one frame of the watch dashboard from a ring document.
+
+    Pure: the output depends only on ``document`` and ``now`` (the
+    wall-clock timestamp used for the staleness label; pass a fixed
+    value for deterministic output, as the tests and ``--once`` CI
+    renders do).
+
+    Parameters
+    ----------
+    document:
+        A parsed ``repro-metrics/v1`` ring document.
+    now:
+        Wall-clock "now" in epoch seconds; defaults to the current
+        time via the sanctioned clock shim.
+    """
+    if not isinstance(document, dict):
+        raise ValidationError(
+            f"metrics document must be a dict, got {type(document).__name__}"
+        )
+    stamp = wall_now() if now is None else float(now)
+    snapshots = document.get("snapshots")
+    count = len(snapshots) if isinstance(snapshots, list) else 0
+    header = f"repro watch  {document.get('schema', '?')}  ({count} snapshot(s)"
+    updated = document.get("updated_unix")
+    if isinstance(updated, (int, float)):
+        age = max(stamp - float(updated), 0.0)
+        header += f", updated {format_seconds(age)} ago"
+        if age > STALE_AFTER:
+            header += ", stale"
+    header += ")"
+    lines = [header]
+    lines.extend(_progress_lines(document))
+    latest = _latest(document)
+    gauges = latest.get("gauges")
+    if isinstance(gauges, dict):
+        lines.extend(_resource_lines(gauges))
+    lines.extend(_kernel_lines(document))
+    if count == 0:
+        lines.append("  (no snapshots yet)")
+    return "\n".join(lines)
+
+
+def watch_loop(
+    path: str | os.PathLike[str],
+    stream: TextIO,
+    *,
+    interval: float = 1.0,
+    once: bool = False,
+) -> int:
+    """Tail a metrics ring file and redraw the dashboard.
+
+    Parameters
+    ----------
+    path:
+        The ``repro-metrics/v1`` file an exporter is rewriting (or has
+        finished rewriting — a finished ring renders its final state).
+    stream:
+        Output target; ANSI clear-screen codes are only emitted when it
+        reports being a terminal.
+    interval:
+        Seconds between redraws.
+    once:
+        Render a single frame and return (the CI mode).
+
+    Returns
+    -------
+    int
+        Process exit code: 0 normally, 1 when the file never became
+        readable.
+    """
+    if not isinstance(interval, (int, float)) or interval <= 0:
+        raise ValidationError(
+            f"watch interval must be a positive number, got {interval!r}"
+        )
+    target = pathlib.Path(path)
+    is_tty = bool(getattr(stream, "isatty", lambda: False)())
+    while True:
+        try:
+            document = json.loads(target.read_text())
+        except FileNotFoundError:
+            if once:
+                stream.write(f"error: no such metrics file: {target}\n")
+                return 1
+            document = None
+        except (OSError, json.JSONDecodeError) as exc:
+            if once:
+                stream.write(f"error: cannot read metrics ring: {exc}\n")
+                return 1
+            # Mid-rewrite; keep the previous frame and retry next tick.
+            document = None
+        if document is not None:
+            frame = render_watch(document)
+            if is_tty and not once:
+                stream.write("\x1b[2J\x1b[H")
+            stream.write(frame + "\n")
+            stream.flush()
+            if once:
+                return 0
+        try:
+            time.sleep(float(interval))
+        except KeyboardInterrupt:
+            return 0

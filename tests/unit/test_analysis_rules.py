@@ -751,3 +751,165 @@ class TestShmLifecycle:
         )
         assert not fired(report, "shm-lifecycle")
         assert report.suppressed
+
+
+class TestIterHotpath:
+    MODULE = "repro.stats.snippet"
+
+    def test_span_in_loop_triggers(self, tmp_path):
+        report = check_snippet(
+            tmp_path,
+            """
+            from repro.telemetry import trace
+
+            def fit(columns):
+                for column in columns:
+                    with trace.span("kernel.step"):
+                        column.work()
+            """,
+            module=self.MODULE,
+        )
+        (finding,) = fired(report, "iter-hotpath")
+        assert "trace.span()" in finding.message
+        assert finding.severity == "error"
+        assert not report.ok
+
+    def test_count_in_while_loop_triggers(self, tmp_path):
+        report = check_snippet(
+            tmp_path,
+            """
+            from repro.telemetry import trace
+
+            def fit(budget):
+                while budget > 0:
+                    trace.count("kernel.sweeps")
+                    budget -= 1
+            """,
+            module=self.MODULE,
+        )
+        (finding,) = fired(report, "iter-hotpath")
+        assert "trace.count()" in finding.message
+
+    def test_record_with_call_argument_triggers(self, tmp_path):
+        report = check_snippet(
+            tmp_path,
+            """
+            def fit(columns, tracker):
+                for column in columns:
+                    tracker.record(objective=float(column.max()))
+            """,
+            module=self.MODULE,
+        )
+        (finding,) = fired(report, "iter-hotpath")
+        assert "record()" in finding.message
+        assert "enabled" in finding.message
+
+    def test_guarded_record_is_clean(self, tmp_path):
+        report = check_snippet(
+            tmp_path,
+            """
+            def fit(columns, tracker):
+                for column in columns:
+                    if tracker.enabled:
+                        tracker.record(objective=float(column.max()))
+            """,
+            module=self.MODULE,
+        )
+        assert not fired(report, "iter-hotpath")
+        assert report.ok
+
+    def test_simple_record_arguments_are_clean(self, tmp_path):
+        report = check_snippet(
+            tmp_path,
+            """
+            def fit(columns, tracker):
+                for column in columns:
+                    objective = column.solve()
+                    tracker.record(objective=objective, rejected=1)
+            """,
+            module=self.MODULE,
+        )
+        assert report.ok
+
+    def test_early_exit_guard_is_sticky(self, tmp_path):
+        # The map_gd-style shape: bail out of the iteration when tracing
+        # is off, then instrument freely below the guard.
+        report = check_snippet(
+            tmp_path,
+            """
+            from repro.telemetry import trace
+
+            def fit(columns):
+                for column in columns:
+                    if not trace.enabled():
+                        column.work()
+                        continue
+                    with trace.span("kernel.column"):
+                        column.work(trace.iterations("kernel"))
+            """,
+            module=self.MODULE,
+        )
+        assert report.ok
+
+    def test_if_else_guard_is_clean(self, tmp_path):
+        report = check_snippet(
+            tmp_path,
+            """
+            from repro.telemetry import trace
+
+            def fit(columns):
+                for column in columns:
+                    if not trace.enabled():
+                        column.work()
+                    else:
+                        with trace.span("kernel.column"):
+                            column.work(trace.iterations("kernel"))
+            """,
+            module=self.MODULE,
+        )
+        assert report.ok
+
+    def test_facade_call_outside_loop_is_clean(self, tmp_path):
+        report = check_snippet(
+            tmp_path,
+            """
+            from repro.telemetry import trace
+
+            def fit(columns):
+                with trace.span("kernel.fit"):
+                    tracker = trace.iterations("kernel")
+                    for column in columns:
+                        tracker.record(objective=column)
+            """,
+            module=self.MODULE,
+        )
+        assert report.ok
+
+    def test_out_of_scope_module_is_skipped(self, tmp_path):
+        report = check_snippet(
+            tmp_path,
+            """
+            from repro.telemetry import trace
+
+            def drain(queue):
+                for item in queue:
+                    trace.count("engine.drained")
+            """,
+            module="repro.engine.snippet",
+        )
+        assert not fired(report, "iter-hotpath")
+
+    def test_suppression(self, tmp_path):
+        report = check_snippet(
+            tmp_path,
+            """
+            from repro.telemetry import trace
+
+            def fit(columns):
+                for column in columns:
+                    trace.count("kernel.columns")  # repro: ignore[iter-hotpath] coarse counter, measured negligible
+            """,
+            module=self.MODULE,
+        )
+        assert not fired(report, "iter-hotpath")
+        assert report.suppressed

@@ -26,6 +26,7 @@ EXPECTED_RULES = [
     "bare-lock",
     "float-eq",
     "global-rng",
+    "iter-hotpath",
     "mutable-default",
     "ndarray-eq",
     "shm-lifecycle",
@@ -36,7 +37,7 @@ EXPECTED_RULES = [
 
 
 class TestRegistry:
-    def test_catalog_holds_the_nine_rules(self):
+    def test_catalog_holds_the_ten_rules(self):
         assert RULES.names() == EXPECTED_RULES
 
     def test_get_unknown_rule_raises(self):

@@ -217,3 +217,61 @@ class TestProgressReporting:
         assert "3/3 jobs" in output
         assert "jobs/s" in output
         assert "3 jobs in" in output
+
+
+class TestTraceReporterConvergence:
+    def _worker_fragment(self):
+        """A fragment as a worker process would export it."""
+        from repro.telemetry import Recorder, trace
+
+        recorder = Recorder()
+        with trace.recording(recorder):
+            with trace.span("engine.job"):
+                tracker = trace.iterations("em.fit")
+                tracker.record(objective=-3.0)
+                tracker.record(objective=-2.0, delta=1.0)
+                tracker.finish(converged=True)
+        return recorder.export_fragment()
+
+    def _result(self, key="job-0", fragment=None):
+        from repro.engine.jobs import JobResult
+
+        return JobResult(
+            key=key, values={}, duration=0.1, trace=fragment
+        )
+
+    def test_worker_fragment_rows_carry_a_summary(self):
+        from repro.engine.progress import TraceReporter
+
+        reporter = TraceReporter()
+        reporter.on_start(2)
+        reporter.on_result(self._result("a", self._worker_fragment()), 1, 2)
+        reporter.on_result(self._result("b"), 2, 2)
+        with_summary, without = reporter.rows
+        assert with_summary["convergence"] == {
+            "em.fit": {
+                "fits": 1,
+                "iterations": 2,
+                "rejections": 0,
+                "nonfinite": 0,
+                "nonconverged": 0,
+            }
+        }
+        assert "convergence" not in without
+
+    def test_manifest_join_keeps_the_summary(self):
+        from repro.telemetry import build_manifest, validate_trace
+        from repro.telemetry.recorder import Recorder
+
+        rows = [
+            {
+                "key": "bench.case",
+                "duration": 0.5,
+                "cached": False,
+                "convergence": {"em.fit": {"fits": 1, "iterations": 2}},
+            }
+        ]
+        manifest = build_manifest(rows=rows)
+        (job,) = manifest["jobs"]
+        assert job["convergence"]["em.fit"]["iterations"] == 2
+        validate_trace(Recorder().to_document(manifest=manifest))

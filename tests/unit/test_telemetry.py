@@ -24,6 +24,7 @@ from repro.telemetry import (
     build_manifest,
     format_seconds,
     render_trace,
+    sparkline,
     spec_fingerprint,
     trace,
     validate_trace,
@@ -277,11 +278,21 @@ class TestSchema:
     def test_accepts_minimal_document(self):
         validate_trace(_minimal_document())
 
-    def test_rejects_wrong_schema_tag(self):
+    def test_rejects_foreign_schema_tag(self):
         document = _minimal_document()
-        document["schema"] = "repro-trace/v0"
+        document["schema"] = "something-else/v1"
         with pytest.raises(ValidationError, match="schema"):
             validate_trace(document)
+
+    def test_unknown_family_version_downgrades_to_warning(self):
+        # Forward compatibility: a future repro-trace/* version is a
+        # named warning, not a failure (structural checks are skipped).
+        document = _minimal_document()
+        document["schema"] = "repro-trace/v0"
+        warnings = []
+        validate_trace(document, warnings=warnings)
+        assert len(warnings) == 1
+        assert warnings[0].startswith("unknown-schema-version")
 
     def test_rejects_missing_top_level_key(self):
         document = _minimal_document()
@@ -587,3 +598,143 @@ class TestOverheadBudget:
     def test_disabled_span_does_not_allocate_contexts(self):
         spans = {id(trace.span("a")) for _ in range(32)}
         assert len(spans) == 1  # always the shared NULL_SPAN singleton
+
+    def test_disabled_tracker_hook_within_two_percent_of_em_fit(self):
+        """The convergence layer's share of the <2% disabled budget.
+
+        Every instrumented kernel iteration pays one ``enabled`` probe
+        and (when the guard is mis-skipped) one no-op ``record()``;
+        both together must stay far inside 2% of an EM fit's runtime.
+        Mirrored on the record by ``telemetry.tracker_overhead.smoke``.
+        """
+        from repro.stats.em import UnivariateGaussianMixtureEM
+
+        assert not trace.enabled()
+        tracker = trace.iterations("noop")
+
+        rng = np.random.default_rng(1105)
+        samples = np.concatenate(
+            [rng.normal(-2.0, 0.6, 1200), rng.normal(3.0, 1.0, 800)]
+        )
+        em = UnivariateGaussianMixtureEM(2)
+        em.fit(samples, rng=np.random.default_rng(7))  # warmup
+        started = time.perf_counter()
+        em.fit(samples, rng=np.random.default_rng(7))
+        fit_seconds = time.perf_counter() - started
+
+        calls = 10_000
+        started = time.perf_counter()
+        for _ in range(calls):
+            if tracker.enabled:
+                tracker.record(objective=1.0, delta=0.1)
+        per_call = (time.perf_counter() - started) / calls
+
+        # An EM fit records ~once per iteration (tens of iterations),
+        # so even 100 hooks must fit inside the 2% ceiling.
+        assert per_call * 100 < 0.02 * fit_seconds
+
+
+# ----------------------------------------------------------------------
+# Sparklines and the viewer's convergence section
+
+
+class TestSparkline:
+    def test_empty_series_renders_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_renders_flat(self):
+        line = sparkline([2.0, 2.0, 2.0])
+        assert len(line) == 3
+        assert len(set(line)) == 1
+
+    def test_monotone_series_ends_at_the_top_glyph(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert line[0] == " "
+        assert line[-1] == "%"
+
+    def test_long_series_downsamples_to_width(self):
+        assert len(sparkline([float(i) for i in range(100)], width=24)) == 24
+
+    def test_nonfinite_values_render_as_bangs(self):
+        line = sparkline([1.0, float("nan"), 2.0])
+        assert line[1] == "!"
+        assert sparkline([float("nan"), float("inf")]) == "!!"
+
+
+class TestViewerConvergence:
+    def _document_with_payload(self, **overrides):
+        recorder = Recorder()
+        with trace.recording(recorder):
+            with trace.span("em.fit"):
+                tracker = trace.iterations("em.fit")
+                tracker.record(objective=-3.0, delta=1.0)
+                tracker.record(objective=-2.0, delta=0.5)
+                tracker.finish(converged=True)
+        document = recorder.to_document()
+        document["spans"][0]["attrs"]["convergence"].update(overrides)
+        return document
+
+    def test_section_renders_per_kernel_rows(self):
+        text = render_trace(self._document_with_payload())
+        assert "convergence:" in text
+        assert "em.fit" in text
+        assert "1/1" in text  # converged tally
+        assert "-2" in text  # final objective
+
+    def test_pre_convergence_trace_has_no_section(self):
+        recorder = Recorder()
+        with trace.recording(recorder):
+            with trace.span("engine.run"):
+                pass
+        text = render_trace(recorder.to_document())
+        assert "convergence:" not in text
+
+    def test_zero_iteration_payload_renders(self):
+        recorder = Recorder()
+        with trace.recording(recorder):
+            with trace.span("kernel.fit"):
+                trace.iterations("cold.start").finish()
+        text = render_trace(recorder.to_document())
+        assert "convergence:" in text
+        assert "cold.start" in text
+        assert "0/0" in text  # iter med/max for the empty fit
+
+    def test_single_iteration_fit_renders(self):
+        recorder = Recorder()
+        with trace.recording(recorder):
+            with trace.span("kernel.fit"):
+                tracker = trace.iterations("one.shot")
+                tracker.record(objective=1.5)
+                tracker.finish(converged=True)
+        text = render_trace(recorder.to_document())
+        assert "one.shot" in text
+        assert "1/1" in text
+
+    def test_nan_objective_survives_the_json_round_trip(self):
+        recorder = Recorder()
+        with trace.recording(recorder):
+            with trace.span("kernel.fit"):
+                tracker = trace.iterations("sick.fit")
+                tracker.record(objective=float("nan"))
+                tracker.finish(converged=False)
+        document = json.loads(
+            json.dumps(recorder.to_document(), allow_nan=False)
+        )
+        text = render_trace(document)
+        assert "sick.fit" in text
+        assert "nan" in text
+        assert "!" in text  # non-finite trajectory glyph
+
+    def test_condition_only_payload_gets_a_trajectory(self):
+        recorder = Recorder()
+        with trace.recording(recorder):
+            with trace.span("kernel.fit"):
+                tracker = trace.iterations("linalg.cholesky")
+                tracker.record(condition=10.0)
+                tracker.record(condition=100.0)
+                tracker.finish(converged=True)
+        text = render_trace(recorder.to_document())
+        row = [
+            line for line in text.splitlines() if "linalg.cholesky" in line
+        ][0]
+        assert not row.rstrip().endswith("-")

@@ -1,0 +1,202 @@
+"""Unit tests for the ``repro watch`` dashboard renderer and loop."""
+
+import io
+import json
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.telemetry.watch import STALE_AFTER, render_watch, watch_loop
+
+
+def _ring(snapshots, *, updated=1000.0, schema="repro-metrics/v1"):
+    return {
+        "schema": schema,
+        "interval_s": 0.5,
+        "ring": 120,
+        "updated_unix": updated,
+        "snapshots": snapshots,
+    }
+
+
+def _snapshot(*, counters=None, gauges=None, progress=None, ts=1000.0):
+    snap = {
+        "ts_unix": ts,
+        "counters": counters or {},
+        "gauges": gauges or {},
+    }
+    if progress is not None:
+        snap["progress"] = progress
+    return snap
+
+
+class TestRenderWatch:
+    def test_render_is_deterministic_for_a_fixed_now(self):
+        document = _ring(
+            [
+                _snapshot(
+                    counters={"kernel.em.fit.fits": 4},
+                    gauges={
+                        "kernel.em.fit.iterations": 9.0,
+                        "kernel.em.fit.objective": -1.75,
+                        "kernel.em.fit.converged": 1.0,
+                    },
+                    progress={
+                        "total": 8,
+                        "completed": 4,
+                        "cached": 1,
+                        "rate_jobs_per_s": 2.0,
+                        "eta_s": 2.0,
+                    },
+                )
+            ]
+        )
+        first = render_watch(document, now=1002.0)
+        second = render_watch(document, now=1002.0)
+        assert first == second
+        assert "repro watch  repro-metrics/v1  (1 snapshot(s)" in first
+        assert "4/8 jobs (1 cached)" in first
+        assert "2.0 jobs/s" in first
+        assert "eta" in first
+        assert "em.fit" in first
+        assert "ok" in first
+
+    def test_empty_ring_renders_a_placeholder(self):
+        frame = render_watch(_ring([]), now=1001.0)
+        assert "(0 snapshot(s)" in frame
+        assert "(no snapshots yet)" in frame
+
+    def test_missing_updated_unix_omits_the_age(self):
+        frame = render_watch({"schema": "repro-metrics/v1", "snapshots": []})
+        assert "ago" not in frame
+
+    def test_fresh_ring_is_not_stale(self):
+        frame = render_watch(_ring([], updated=1000.0), now=1000.0 + 2)
+        assert "stale" not in frame
+
+    def test_old_ring_is_labelled_stale(self):
+        frame = render_watch(
+            _ring([], updated=1000.0), now=1000.0 + STALE_AFTER + 5
+        )
+        assert "stale" in frame
+
+    def test_complete_run_says_so(self):
+        document = _ring(
+            [_snapshot(progress={"total": 6, "completed": 6, "cached": 0})]
+        )
+        frame = render_watch(document, now=1001.0)
+        assert "6/6 jobs" in frame
+        assert "run complete" in frame
+        assert "eta" not in frame
+
+    def test_rate_trend_spans_the_ring(self):
+        snapshots = [
+            _snapshot(
+                ts=1000.0 + tick,
+                progress={
+                    "total": 10,
+                    "completed": tick,
+                    "cached": 0,
+                    "rate_jobs_per_s": float(tick),
+                },
+            )
+            for tick in range(5)
+        ]
+        frame = render_watch(_ring(snapshots), now=1010.0)
+        assert "rate trend" in frame
+
+    def test_resource_gauges_render(self):
+        document = _ring(
+            [
+                _snapshot(
+                    gauges={
+                        "resource.rss_bytes": 50 * 2**20,
+                        "resource.rss_peak_bytes": 80 * 2**20,
+                        "resource.workers.rss_peak_bytes": 30 * 2**20,
+                        "resource.worker.1.rss_peak_bytes": 30 * 2**20,
+                        "resource.worker.2.rss_peak_bytes": 25 * 2**20,
+                    }
+                )
+            ]
+        )
+        frame = render_watch(document, now=1001.0)
+        assert "resources:" in frame
+        assert "parent" in frame
+        assert "across 2 worker(s)" in frame
+
+    @pytest.mark.parametrize(
+        "gauges,counters,state",
+        [
+            ({"kernel.k.converged": 1.0}, {}, "ok"),
+            ({"kernel.k.converged": 0.0}, {}, "fitting"),
+            ({}, {"kernel.k.nonconverged": 1}, "DIVERGED"),
+            ({}, {"kernel.k.nonfinite": 2}, "NONFINITE"),
+        ],
+    )
+    def test_kernel_state_logic(self, gauges, counters, state):
+        counters = {"kernel.k.fits": 1, **counters}
+        document = _ring([_snapshot(counters=counters, gauges=gauges)])
+        frame = render_watch(document, now=1001.0)
+        assert state in frame
+
+    def test_nonfinite_outranks_nonconverged(self):
+        document = _ring(
+            [
+                _snapshot(
+                    counters={
+                        "kernel.k.nonfinite": 1,
+                        "kernel.k.nonconverged": 1,
+                    }
+                )
+            ]
+        )
+        frame = render_watch(document, now=1001.0)
+        assert "NONFINITE" in frame
+        assert "DIVERGED" not in frame
+
+    def test_non_dict_document_raises(self):
+        with pytest.raises(ValidationError, match="must be a dict"):
+            render_watch(["not", "a", "dict"])
+
+
+class TestWatchLoop:
+    def test_once_renders_a_finished_ring(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text(
+            json.dumps(
+                _ring(
+                    [
+                        _snapshot(
+                            progress={
+                                "total": 2,
+                                "completed": 2,
+                                "cached": 0,
+                            }
+                        )
+                    ]
+                )
+            )
+        )
+        stream = io.StringIO()
+        assert watch_loop(path, stream, once=True) == 0
+        output = stream.getvalue()
+        assert "repro watch" in output
+        assert "run complete" in output
+        assert "\x1b[" not in output  # no ANSI control codes off-tty
+
+    def test_once_missing_file_exits_nonzero(self, tmp_path):
+        stream = io.StringIO()
+        code = watch_loop(tmp_path / "absent.json", stream, once=True)
+        assert code == 1
+        assert "no such metrics file" in stream.getvalue()
+
+    def test_once_unparseable_file_exits_nonzero(self, tmp_path):
+        path = tmp_path / "torn.json"
+        path.write_text('{"schema": "repro-met')
+        stream = io.StringIO()
+        assert watch_loop(path, stream, once=True) == 1
+        assert "cannot read metrics ring" in stream.getvalue()
+
+    def test_invalid_interval_raises(self, tmp_path):
+        with pytest.raises(ValidationError, match="interval"):
+            watch_loop(tmp_path / "m.json", io.StringIO(), interval=0)
